@@ -1,0 +1,52 @@
+"""Benchmark: regenerate Figure 11 (remote snapshot storage)."""
+
+from benchmarks.conftest import full_sweeps
+from repro.core.policies import Policy
+from repro.experiments import fig11_remote
+from repro.experiments.common import fresh_platform
+from repro.workloads.base import INPUT_A
+from repro.workloads.registry import get_profile
+
+QUICK_FUNCTIONS = ["hello-world", "json", "image", "chameleon"]
+
+
+def test_fig11_remote(bench_once):
+    functions = None if full_sweeps() else QUICK_FUNCTIONS
+    result = bench_once(fig11_remote.run, functions=functions)
+    print()
+    print(fig11_remote.format_table(result))
+
+    # C4: FaaSnap beats Firecracker and REAP on average over EBS
+    # (paper: 2.06x and 1.20x).
+    assert result.speedup_over(Policy.FIRECRACKER) > 1.3
+    assert result.speedup_over(Policy.REAP) > 1.0
+
+    faasnap = result.grid.totals_ms(Policy.FAASNAP)
+    fc = result.grid.totals_ms(Policy.FIRECRACKER)
+    for function in faasnap:
+        assert faasnap[function] < fc[function], function
+
+
+def test_fig11_remote_vs_local_gap(bench_once):
+    """FaaSnap on EBS is slower than on local NVMe, but by a bounded
+    factor (paper: 28% slower on average)."""
+
+    def run_pair():
+        gaps = {}
+        for remote in (False, True):
+            platform, handles = fresh_platform(
+                remote_storage=remote, functions=("json",)
+            )
+            profile = get_profile("json")
+            result = platform.invoke(
+                handles["json"],
+                profile.input_b(),
+                Policy.FAASNAP,
+                record_input=INPUT_A,
+            )
+            gaps[remote] = result.total_ms
+        return gaps
+
+    gaps = bench_once(run_pair)
+    assert gaps[True] > gaps[False]
+    assert gaps[True] < 2.5 * gaps[False]

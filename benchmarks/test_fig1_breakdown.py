@@ -1,0 +1,48 @@
+"""Benchmark: regenerate Figure 1 (invocation time breakdown)."""
+
+from benchmarks.conftest import full_sweeps
+from repro.core.policies import Policy
+from repro.experiments import fig1_breakdown
+
+
+def test_fig1_breakdown(bench_once):
+    functions = (
+        fig1_breakdown.FUNCTIONS
+        if full_sweeps()
+        else ["hello-world", "image", "mmap"]
+    )
+    result = bench_once(fig1_breakdown.run, functions=functions)
+    print()
+    print(fig1_breakdown.format_table(result))
+
+    grid = result.grid
+    for function in functions:
+        totals = {
+            policy: grid.get(function, policy).total_ms
+            for policy in fig1_breakdown.POLICIES
+        }
+        # Warm is always fastest, stock Firecracker always slowest.
+        assert totals[Policy.WARM] == min(totals.values()), function
+        assert totals[Policy.FIRECRACKER] == max(totals.values()), function
+
+    # hello-world: warm finishes in single-digit ms (paper: 4 ms) and
+    # Firecracker takes >100 ms (paper: ~229 ms).
+    hello_warm = grid.get("hello-world", Policy.WARM).total_ms
+    hello_fc = grid.get("hello-world", Policy.FIRECRACKER).total_ms
+    assert hello_warm < 10
+    assert hello_fc > 100
+
+    # REAP's setup dominates for large working sets (read-list/mmap).
+    if "mmap" in functions:
+        reap = grid.get("mmap", Policy.REAP)
+        assert reap.setup_ms > 5 * grid.get("mmap", Policy.FIRECRACKER).setup_ms
+
+    # image-diff (changed input) hurts REAP relative to same-input image.
+    if "image" in functions:
+        same = grid.get("image", Policy.REAP, content_id=1).total_ms
+        diff = [
+            c
+            for c in grid.cells
+            if c.function == "image-diff" and c.policy is Policy.REAP
+        ][0].total_ms
+        assert diff > 1.3 * same

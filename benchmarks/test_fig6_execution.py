@@ -1,0 +1,48 @@
+"""Benchmark: regenerate Figure 6 (benchmark execution times)."""
+
+from benchmarks.conftest import full_sweeps
+from repro.core.policies import Policy
+from repro.experiments import fig6_execution
+
+#: Reduced function set covering every behaviour class: small/json,
+#: content-sensitive/image, template/chameleon, big-anon/pagerank.
+QUICK_FUNCTIONS = ["json", "image", "chameleon", "pagerank"]
+
+
+def test_fig6_execution(bench_once):
+    functions = None if full_sweeps() else QUICK_FUNCTIONS
+    result = bench_once(fig6_execution.run, functions=functions)
+    print()
+    print(fig6_execution.format_table(result))
+
+    for direction in ("A->B", "B->A"):
+        grid = result.grids[direction]
+        faasnap = grid.totals_ms(Policy.FAASNAP)
+        for function, total in faasnap.items():
+            # C1: FaaSnap beats Firecracker and REAP for every function.
+            assert total < grid.totals_ms(Policy.FIRECRACKER)[function], (
+                direction,
+                function,
+            )
+            assert total < grid.totals_ms(Policy.REAP)[function], (
+                direction,
+                function,
+            )
+
+    # Paper: ~2.0x over Firecracker and ~1.4x over REAP on average
+    # (our simulated compute times dilute this to ~1.4x/1.3x on the
+    # full set — see EXPERIMENTS.md), and FaaSnap's REAP speedup is
+    # larger when testing with the bigger input B than with the
+    # smaller input A (paper: 1.55x vs 1.16x).
+    fc_speedup = result.speedup("A->B", Policy.FIRECRACKER)
+    reap_ab = result.speedup("A->B", Policy.REAP)
+    reap_ba = result.speedup("B->A", Policy.REAP)
+    assert fc_speedup > 1.25
+    assert reap_ab > 1.1
+    assert reap_ab > reap_ba
+
+    # FaaSnap lands within ~35% of the impractical Cached reference
+    # (paper: 3.5% on the real testbed; the simulated loader race is
+    # coarser but the gap stays small).
+    cached_gap = result.speedup("A->B", Policy.CACHED)
+    assert cached_gap > 0.65

@@ -1,0 +1,56 @@
+"""Benchmark: regenerate Figure 8 (input-size sensitivity)."""
+
+from benchmarks.conftest import full_sweeps
+from repro.core.policies import Policy
+from repro.experiments import fig8_sensitivity
+
+QUICK_FUNCTIONS = ["json", "image", "chameleon"]
+QUICK_RATIOS = (0.25, 1.0, 4.0)
+
+
+def test_fig8_sensitivity(bench_once):
+    if full_sweeps():
+        result = bench_once(fig8_sensitivity.run)
+    else:
+        result = bench_once(
+            fig8_sensitivity.run,
+            functions=QUICK_FUNCTIONS,
+            ratios=QUICK_RATIOS,
+        )
+    print()
+    print(fig8_sensitivity.format_table(result))
+
+    functions = sorted({c.function for c in result.grid.cells})
+    top = max(result.ratios)
+    for function in functions:
+        # FaaSnap outperforms Firecracker and REAP at every ratio.
+        for ratio in result.ratios:
+            fc = result.grid.get(
+                function, Policy.FIRECRACKER, size_ratio=ratio
+            ).total_ms
+            reap = result.grid.get(
+                function, Policy.REAP, size_ratio=ratio
+            ).total_ms
+            ours = result.grid.get(
+                function, Policy.FAASNAP, size_ratio=ratio
+            ).total_ms
+            assert ours < fc, (function, ratio)
+            assert ours <= reap * 1.02, (function, ratio)
+
+        # REAP's curve climbs more steeply than FaaSnap's above 1x —
+        # the paper's C2 claim (6.3: REAP degrades when the input
+        # grows past the recorded working set). Compute-dominated
+        # functions (pyaes) tie within noise, hence the 5% tolerance.
+        assert result.degradation(function, Policy.REAP) > 0.95 * (
+            result.degradation(function, Policy.FAASNAP)
+        ), function
+
+        # FaaSnap tracks Cached across the sweep (overlapping curves
+        # in the paper's plots).
+        faasnap_top = result.grid.get(
+            function, Policy.FAASNAP, size_ratio=top
+        ).total_ms
+        cached_top = result.grid.get(
+            function, Policy.CACHED, size_ratio=top
+        ).total_ms
+        assert faasnap_top < 1.4 * cached_top, function

@@ -1,0 +1,40 @@
+"""Benchmark: regenerate Figure 9 (optimization steps)."""
+
+from repro.core.policies import Policy
+from repro.experiments import fig9_ablation
+
+
+def test_fig9_ablation(bench_once):
+    result = bench_once(fig9_ablation.run)
+    print()
+    print(fig9_ablation.format_table(result))
+
+    steps = result.steps
+    firecracker = steps[Policy.FIRECRACKER]
+    concurrent = steps[Policy.FAASNAP_CONCURRENT]
+    per_region = steps[Policy.FAASNAP_PER_REGION]
+    faasnap = steps[Policy.FAASNAP]
+
+    # Concurrent paging alone cuts majors, fault time, and VM block
+    # requests versus stock Firecracker.
+    assert concurrent.major_faults < firecracker.major_faults
+    assert concurrent.fault_time_ms < firecracker.fault_time_ms
+    assert concurrent.block_requests < firecracker.block_requests
+    assert concurrent.invoke_ms < firecracker.invoke_ms
+
+    # The paper's counterintuitive per-region signature: more major
+    # faults than concurrent paging, with a similar-or-lower number of
+    # block requests — per-region majors tend to wait on in-flight
+    # loader reads instead of issuing their own I/O. The exact
+    # block-request ordering between the two intermediate steps is
+    # within noise of the loader race, so allow a tolerance.
+    assert per_region.major_faults >= concurrent.major_faults
+    assert per_region.block_requests <= concurrent.block_requests * 1.25
+
+    # Full FaaSnap is best on every metric: fewest majors, fewest
+    # block requests, shortest fault time, shortest invocation.
+    for step in (firecracker, concurrent, per_region):
+        assert faasnap.major_faults <= step.major_faults
+        assert faasnap.block_requests <= step.block_requests
+        assert faasnap.fault_time_ms <= step.fault_time_ms
+        assert faasnap.invoke_ms <= step.invoke_ms

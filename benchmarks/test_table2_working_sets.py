@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Table 2 (functions and working sets)."""
+
+import pytest
+
+from repro.experiments import table2_workloads
+
+
+def test_table2_working_sets(bench_once):
+    result = bench_once(table2_workloads.run)
+    print()
+    print(table2_workloads.format_table(result))
+
+    assert len(result.rows) == 12
+    for row in result.rows:
+        assert row.ws_a_mb == pytest.approx(row.paper_ws_a_mb, rel=0.15), (
+            row.function
+        )
+        assert row.ws_b_mb == pytest.approx(row.paper_ws_b_mb, rel=0.15), (
+            row.function
+        )
+        # Input B never shrinks the working set in Table 2.
+        assert row.ws_b_mb >= row.ws_a_mb * 0.99

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Regenerate any table or figure from the paper's evaluation.
+
+Usage:
+    python examples/paper_figures.py table2 fig1 fig9
+    python examples/paper_figures.py all            # everything (slow)
+    python examples/paper_figures.py fig8 --quick   # reduced sweep
+
+``--quick`` trims the heaviest experiments (fewer functions / ratios /
+burst sizes) while keeping every system and every mechanism in play.
+"""
+
+import argparse
+import sys
+import time
+
+from repro.experiments import ALL_EXPERIMENTS
+
+#: Reduced arguments per experiment for --quick runs.
+QUICK_ARGS = {
+    "fig1": {"functions": ["hello-world", "image"]},
+    "fig6": {"functions": ["json", "image", "chameleon"]},
+    "fig7": {"functions": ["hello-world"]},
+    "fig8": {"functions": ["json", "image"], "ratios": (0.5, 1.0, 2.0)},
+    "fig10": {"functions": ("hello-world",), "parallelisms": (1, 4, 16)},
+    "fig11": {"functions": ["hello-world", "json", "image"]},
+}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help=f"experiment ids ({', '.join(ALL_EXPERIMENTS)}) or 'all'",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced parameter sweeps"
+    )
+    args = parser.parse_args()
+
+    names = (
+        list(ALL_EXPERIMENTS)
+        if "all" in args.experiments
+        else args.experiments
+    )
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}")
+
+    for name in names:
+        module = ALL_EXPERIMENTS[name]
+        kwargs = QUICK_ARGS.get(name, {}) if args.quick else {}
+        started = time.time()
+        result = module.run(**kwargs)
+        elapsed = time.time() - started
+        print(module.format_table(result))
+        print(f"[{name} completed in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

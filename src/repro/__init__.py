@@ -1,0 +1,18 @@
+"""faasnap-repro: a full reproduction of *FaaSnap: FaaS Made Fast
+Using Snapshot-based VMs* (EuroSys '22) on a simulated substrate.
+
+The public entry points:
+
+* :class:`repro.core.FaaSnapPlatform` — register functions, run
+  record phases, invoke under any restore policy, burst-invoke.
+* :mod:`repro.workloads` — the paper's Table 2 benchmark functions.
+* :mod:`repro.experiments` — regenerate every paper table/figure.
+* :mod:`repro.fleet` — fleet-level serving economics (paper §7.1).
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,220 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``functions`` — list the Table 2 benchmark functions and their
+  calibrated working sets.
+* ``invoke`` — run one function under one (or every) restore policy.
+* ``experiment`` — regenerate a paper table/figure by id.
+* ``fleet`` — run a small fleet simulation (paper §7.1).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import FaaSnapPlatform, Policy
+from repro.metrics import render_table
+from repro.workloads import get_profile, profile_names
+from repro.workloads.base import INPUT_A, InputSpec
+
+
+def _cmd_functions(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in profile_names():
+        profile = get_profile(name)
+        rows.append(
+            [
+                name,
+                profile.description,
+                profile.ws_a_mb,
+                profile.ws_b_mb,
+                profile.compute_base_us / 1000,
+            ]
+        )
+    print(
+        render_table(
+            ["function", "description", "WS_A_MB", "WS_B_MB", "compute_ms"],
+            rows,
+            title="Registered benchmark functions (paper Table 2)",
+        )
+    )
+    return 0
+
+
+def _cmd_invoke(args: argparse.Namespace) -> int:
+    platform = FaaSnapPlatform(remote_storage=args.remote)
+    handle = platform.register_function(get_profile(args.function))
+    if args.input == "A":
+        test_input = INPUT_A
+    elif args.input == "B":
+        test_input = handle.profile.input_b()
+    else:
+        test_input = InputSpec(content_id=9, size_ratio=float(args.input))
+
+    policies = (
+        [Policy(args.policy)]
+        if args.policy != "all"
+        else [
+            Policy.WARM,
+            Policy.FIRECRACKER,
+            Policy.CACHED,
+            Policy.REAP,
+            Policy.FAASNAP,
+        ]
+    )
+    rows = []
+    for policy in policies:
+        result = platform.invoke(
+            handle, test_input, policy, record_input=INPUT_A
+        )
+        rows.append(
+            [
+                policy.value,
+                result.setup_us / 1000,
+                result.invoke_us / 1000,
+                result.total_ms,
+                result.fault_count(),
+                result.major_faults,
+            ]
+        )
+    print(
+        render_table(
+            ["policy", "setup_ms", "invoke_ms", "total_ms", "faults", "majors"],
+            rows,
+            title=f"{args.function}, test input {args.input} "
+            f"({'EBS' if args.remote else 'NVMe'})",
+        )
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import ALL_EXPERIMENTS
+
+    module = ALL_EXPERIMENTS.get(args.id)
+    if module is None:
+        print(
+            f"unknown experiment {args.id!r}; "
+            f"known: {', '.join(ALL_EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+    print(module.format_table(module.run()))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.experiments import claims
+
+    results = claims.check_all(quick=not args.full)
+    for result in results:
+        print(result)
+    return 0 if all(r.passed for r in results) else 1
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet import (
+        CostModel,
+        FleetConfig,
+        FleetSimulator,
+        StartKind,
+        generate_arrivals,
+        synthesize_fleet,
+    )
+    from repro.fleet.workload import US_PER_HOUR, US_PER_MINUTE
+
+    fleet = synthesize_fleet(
+        args.functions, seed=args.seed, profile_names=("json", "pyaes")
+    )
+    trace = generate_arrivals(fleet, args.hours * US_PER_HOUR, seed=args.seed)
+    config = FleetConfig(
+        restore_policy=Policy(args.policy),
+        keep_alive_ttl_us=args.ttl_minutes * US_PER_MINUTE,
+        memory_budget_mb=args.memory_gb * 1024,
+    )
+    report = FleetSimulator(fleet, config, cost_model=CostModel()).run(trace)
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ["invocations", report.count()],
+                ["mean latency (ms)", report.mean_latency_us() / 1000],
+                ["p99 latency (ms)", report.latency_percentile(99) / 1000],
+                ["warm %", report.fraction(StartKind.WARM) * 100],
+                ["snapshot %", report.fraction(StartKind.SNAPSHOT) * 100],
+                ["cold %", report.fraction(StartKind.COLD) * 100],
+                ["mean memory (GB)", report.mean_memory_mb() / 1024],
+                ["evictions", report.evictions],
+            ],
+            title=f"Fleet: {args.functions} functions over {args.hours:g} h, "
+            f"{args.policy} snapshots",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="FaaSnap reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("functions", help="list benchmark functions").set_defaults(
+        handler=_cmd_functions
+    )
+
+    invoke = sub.add_parser("invoke", help="invoke one function")
+    invoke.add_argument("function", choices=profile_names())
+    invoke.add_argument(
+        "--policy",
+        default="all",
+        choices=["all"] + [p.value for p in Policy],
+    )
+    invoke.add_argument(
+        "--input",
+        default="B",
+        help="'A', 'B', or a numeric size ratio (record phase uses A)",
+    )
+    invoke.add_argument("--remote", action="store_true", help="EBS storage")
+    invoke.set_defaults(handler=_cmd_invoke)
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a paper table/figure"
+    )
+    experiment.add_argument("id", help="e.g. fig1, table2, fig9")
+    experiment.set_defaults(handler=_cmd_experiment)
+
+    validate = sub.add_parser(
+        "validate", help="check the paper's claims C1-C4 (appendix A.4)"
+    )
+    validate.add_argument(
+        "--full", action="store_true", help="full paper sweeps (slow)"
+    )
+    validate.set_defaults(handler=_cmd_validate)
+
+    fleet = sub.add_parser("fleet", help="fleet simulation (paper 7.1)")
+    fleet.add_argument("--functions", type=int, default=60)
+    fleet.add_argument("--hours", type=float, default=2.0)
+    fleet.add_argument("--ttl-minutes", type=float, default=15.0)
+    fleet.add_argument("--memory-gb", type=float, default=8.0)
+    fleet.add_argument(
+        "--policy",
+        default=Policy.FAASNAP.value,
+        choices=[p.value for p in Policy],
+    )
+    fleet.add_argument("--seed", type=int, default=1)
+    fleet.set_defaults(handler=_cmd_fleet)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,524 @@
+"""Record-phase and test-phase orchestration (paper Figure 5).
+
+``run_record_phase`` performs the first invocation: restore the clean
+snapshot, execute the function while the recorder watches (mincore
+for the FaaSnap family, the fault stream for REAP), optionally
+sanitize freed pages, capture the warm snapshot, and build the
+working-set / loading-set artefacts.
+
+``invocation_process`` performs a test-phase invocation under any
+:class:`~repro.core.policies.Policy`, returning an
+:class:`InvocationResult` with the timing and fault accounting every
+paper figure is computed from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, List, Optional, Sequence, Set
+
+from repro.core.loader import (
+    DEFAULT_CHUNK_PAGES,
+    DEFAULT_COALESCE_GAP,
+    LoaderStats,
+    loading_set_loader,
+    ordered_pages_loader,
+)
+from repro.core.loading_set import (
+    DEFAULT_MERGE_GAP_PAGES,
+    LoadingSet,
+    build_loading_set,
+    write_loading_set_file,
+)
+from repro.core.mapping import DEFAULT_NONZERO_MERGE_GAP, build_faasnap_plan
+from repro.core.policies import Policy
+from repro.core.reap import (
+    make_reap_fault_handler,
+    reap_setup,
+    write_working_set_file,
+)
+from repro.core.recorder import DEFAULT_POLL_INTERVAL_US, mincore_recorder
+from repro.core.working_set import (
+    DEFAULT_GROUP_PAGES,
+    ReapWorkingSet,
+    WorkingSetGroups,
+)
+from repro.host.fault import FaultKind, FaultRecord
+from repro.host.page_cache import PageCache
+from repro.host.params import HostParams
+from repro.sim import Environment, Event, Resource
+from repro.storage.device import DeviceSpec
+from repro.storage.filestore import PAGE_SIZE, FileStore, StoredFile
+from repro.storage.presets import NVME_LOCAL
+from repro.vm.snapshot import Snapshot, capture_memory_contents, create_snapshot
+from repro.vm.vcpu import GuestAccess
+from repro.vm.vmm import MappingPlan, MicroVM, VmmParams, full_file_plan
+from repro.workloads.base import InputSpec, WorkloadProfile, WorkloadTrace
+from repro.workloads.base import generate_trace
+from repro.workloads.base import clean_snapshot_contents
+
+#: Think time of one sanitize (zero-fill) write during the record
+#: phase; sanitizing costs the guest ~10% of execution (§5) but only
+#: runs in the unmeasured record phase.
+_SANITIZE_WRITE_US = 0.2
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """Tunables of the simulated platform."""
+
+    host: HostParams = HostParams()
+    vmm: VmmParams = VmmParams()
+    device: DeviceSpec = NVME_LOCAL
+    #: Working-set group size (paper: 1024).
+    group_pages: int = DEFAULT_GROUP_PAGES
+    #: Gap threshold for merging loading-set regions (paper: 32).
+    loading_merge_gap: int = DEFAULT_MERGE_GAP_PAGES
+    #: Gap threshold for coalescing non-zero mapped regions.
+    nonzero_merge_gap: int = DEFAULT_NONZERO_MERGE_GAP
+    #: Loader read granularity and gap coalescing.
+    loader_chunk_pages: int = DEFAULT_CHUNK_PAGES
+    loader_coalesce_gap: int = DEFAULT_COALESCE_GAP
+    #: Recorder procfs poll interval.
+    record_poll_interval_us: float = DEFAULT_POLL_INTERVAL_US
+    #: Host CPU slots for guest vCPUs (None = uncontended).
+    cpu_slots: Optional[int] = None
+    #: Tiered snapshot storage (§7.2 future work): keep the small
+    #: loading-set / working-set files on the local NVMe SSD while the
+    #: large memory files live on the (remote) primary device. Only
+    #: meaningful when the primary device is remote.
+    tiered_storage: bool = False
+
+
+@dataclass
+class RecordArtifacts:
+    """Everything the record phase produces for later test phases."""
+
+    profile: WorkloadProfile
+    record_input: InputSpec
+    sanitize: bool
+    clean_snapshot: Snapshot
+    warm_snapshot: Snapshot
+    record_trace: WorkloadTrace
+    #: FaaSnap working set (only for sanitize=True records).
+    ws_groups: Optional[WorkingSetGroups] = None
+    loading_set: Optional[LoadingSet] = None
+    loading_file: Optional[StoredFile] = None
+    #: REAP working set (only for sanitize=False records).
+    reap_ws: Optional[ReapWorkingSet] = None
+    reap_ws_file: Optional[StoredFile] = None
+
+
+@dataclass
+class InvocationResult:
+    """Outcome and accounting of one test-phase invocation."""
+
+    policy: Policy
+    function: str
+    input: InputSpec
+    setup_us: float
+    invoke_us: float
+    #: Working-set / loading-set fetch (REAP setup read, FaaSnap
+    #: loader) — Table 3's fetch columns.
+    fetch_time_us: float = 0.0
+    fetch_bytes: int = 0
+    fault_records: List[FaultRecord] = field(default_factory=list)
+    uffd_faults: int = 0
+    #: Memory footprint after the invocation (paper §7.3): the VMM
+    #: process's resident pages, the page-cache pages holding this
+    #: function's snapshot/loading/working-set files, and any private
+    #: user-space buffers (REAP's working-set staging buffer).
+    rss_pages: int = 0
+    cache_pages: int = 0
+    private_buffer_pages: int = 0
+
+    @property
+    def memory_footprint_mb(self) -> float:
+        return (
+            (self.rss_pages + self.cache_pages + self.private_buffer_pages)
+            * PAGE_SIZE
+            / 1e6
+        )
+
+    @property
+    def total_us(self) -> float:
+        return self.setup_us + self.invoke_us
+
+    @property
+    def total_ms(self) -> float:
+        return self.total_us / 1000.0
+
+    def fault_count(self, kind: Optional[FaultKind] = None) -> int:
+        if kind is None:
+            return len(self.fault_records)
+        return sum(1 for r in self.fault_records if r.kind is kind)
+
+    @property
+    def major_faults(self) -> int:
+        return self.fault_count(FaultKind.MAJOR)
+
+    @property
+    def fault_time_us(self) -> float:
+        return sum(r.duration_us for r in self.fault_records)
+
+    @property
+    def fault_block_requests(self) -> int:
+        return sum(r.block_requests for r in self.fault_records)
+
+    @property
+    def guest_fault_bytes(self) -> int:
+        return sum(r.bytes_read for r in self.fault_records)
+
+
+def run_record_phase(
+    env: Environment,
+    config: PlatformConfig,
+    store: FileStore,
+    cache: PageCache,
+    profile: WorkloadProfile,
+    record_input: InputSpec,
+    sanitize: bool,
+    tag: str,
+    wipe_pages: Sequence[int] = (),
+    artifact_store: Optional[FileStore] = None,
+) -> Generator[Event, Any, RecordArtifacts]:
+    """Process helper: execute the record phase (paper Figure 5 left).
+
+    Restores a clean snapshot with stock full-file mapping, runs the
+    record invocation (with the mincore recorder and freed-page
+    sanitization when ``sanitize``), captures the warm snapshot, and
+    builds the per-policy artefacts. Drops the page cache afterwards,
+    as the evaluation methodology does between phases (§6.1).
+
+    ``wipe_pages`` are guest pages holding high-value secrets (e.g.
+    PRNG state); they are zeroed in the captured snapshot, the
+    MADV_WIPEONSUSPEND mitigation of §7.4, so restored clones never
+    share them. ``artifact_store`` places the derived loading-set /
+    working-set files on a different (e.g. faster, local) device than
+    the snapshot itself — the tiered-storage layout of §7.2.
+    """
+    clean = create_snapshot(
+        store,
+        f"{tag}.clean",
+        profile.total_pages,
+        clean_snapshot_contents(profile),
+    )
+    vm = MicroVM(
+        env,
+        config.host,
+        config.vmm,
+        cache,
+        profile.total_pages,
+        label=f"{tag}.record",
+    )
+    yield from vm.restore(clean, full_file_plan(clean))
+
+    trace = generate_trace(profile, record_input)
+    accesses = list(trace.accesses)
+    if sanitize:
+        accesses.extend(
+            GuestAccess(page=page, write=True, value=0, think_us=_SANITIZE_WRITE_US)
+            for page in trace.freed_pages
+        )
+
+    done = env.event()
+    recorder_proc = None
+    if sanitize:
+        recorder_proc = env.process(
+            mincore_recorder(
+                env,
+                config.host,
+                cache,
+                vm.procfs,
+                clean.memory_file.name,
+                profile.total_pages,
+                done,
+                group_pages=config.group_pages,
+                poll_interval_us=config.record_poll_interval_us,
+            ),
+            name=f"{tag}.recorder",
+        )
+
+    yield from vm.vcpu.run_trace(accesses, tail_think_us=trace.tail_think_us)
+    done.succeed()
+
+    ws_groups: Optional[WorkingSetGroups] = None
+    if recorder_proc is not None:
+        ws_groups = yield recorder_proc
+
+    contents = capture_memory_contents(vm.space, base=clean)
+    for page in wipe_pages:
+        contents.pop(page, None)
+    warm = create_snapshot(store, f"{tag}.warm", profile.total_pages, contents)
+
+    artifacts = RecordArtifacts(
+        profile=profile,
+        record_input=record_input,
+        sanitize=sanitize,
+        clean_snapshot=clean,
+        warm_snapshot=warm,
+        record_trace=trace,
+        ws_groups=ws_groups,
+    )
+
+    derived_store = artifact_store or store
+    if sanitize:
+        assert ws_groups is not None
+        artifacts.loading_set = build_loading_set(
+            ws_groups,
+            warm.nonzero_pages(),
+            merge_gap=config.loading_merge_gap,
+        )
+        artifacts.loading_file = write_loading_set_file(
+            derived_store, f"{tag}.loadingset", artifacts.loading_set, warm
+        )
+    else:
+        faulted = [
+            record.page
+            for record in vm.handler.stats.records
+            if record.kind is not FaultKind.NONE
+        ]
+        artifacts.reap_ws = ReapWorkingSet.from_fault_pages(faulted)
+        artifacts.reap_ws_file = write_working_set_file(
+            derived_store, f"{tag}.reapws", artifacts.reap_ws, warm
+        )
+
+    cache.drop_all()
+    store.device.reset_stats()
+    if derived_store is not store:
+        derived_store.device.reset_stats()
+    return artifacts
+
+
+def _start_loader(
+    env: Environment,
+    config: PlatformConfig,
+    cache: PageCache,
+    artifacts: RecordArtifacts,
+    policy: Policy,
+    loader_gate: Optional[Set[str]],
+    tag: str,
+):
+    """Kick off the concurrent daemon loader for FaaSnap-family
+    policies. Returns ``(process, stats)`` or ``(None, stats)`` when
+    another VM of the same burst already loads this snapshot (the
+    daemon's load-once lock, §6.6)."""
+    stats = LoaderStats()
+    assert artifacts.ws_groups is not None
+
+    if policy is Policy.FAASNAP:
+        assert artifacts.loading_file is not None
+        gate_key = artifacts.loading_file.name
+        if loader_gate is not None:
+            if gate_key in loader_gate:
+                return None, stats
+            loader_gate.add(gate_key)
+        proc = env.process(
+            loading_set_loader(
+                env,
+                cache,
+                artifacts.loading_file,
+                stats,
+                chunk_pages=config.loader_chunk_pages,
+            ),
+            name=f"{tag}.loader",
+        )
+        return proc, stats
+
+    memory_file = artifacts.warm_snapshot.memory_file
+    if policy is Policy.FAASNAP_CONCURRENT:
+        pages = artifacts.ws_groups.pages  # plain address order
+    else:  # FAASNAP_PER_REGION: group order, addresses within group
+        group_of = artifacts.ws_groups.group_of
+        pages = sorted(group_of, key=lambda p: (group_of[p], p))
+    gate_key = f"{memory_file.name}:{policy.value}"
+    if loader_gate is not None:
+        if gate_key in loader_gate:
+            return None, stats
+        loader_gate.add(gate_key)
+    proc = env.process(
+        ordered_pages_loader(
+            env,
+            cache,
+            memory_file,
+            pages,
+            stats,
+            coalesce_gap=config.loader_coalesce_gap,
+            chunk_pages=config.loader_chunk_pages,
+        ),
+        name=f"{tag}.loader",
+    )
+    return proc, stats
+
+
+def invocation_process(
+    env: Environment,
+    config: PlatformConfig,
+    store: FileStore,
+    cache: PageCache,
+    cpu: Optional[Resource],
+    artifacts: RecordArtifacts,
+    test_input: InputSpec,
+    policy: Policy,
+    tag: str,
+    loader_gate: Optional[Set[str]] = None,
+    tracer=None,
+) -> Generator[Event, Any, InvocationResult]:
+    """Process helper: one test-phase invocation under ``policy``.
+
+    ``tracer`` (a :class:`repro.metrics.tracing.Tracer`) records a
+    Zipkin-style span tree of the invocation's phases.
+    """
+    _check_artifacts(artifacts, policy)
+    profile = artifacts.profile
+    warm = artifacts.warm_snapshot
+    trace = generate_trace(profile, test_input, prior=artifacts.record_trace)
+    request_time = env.now
+
+    vm = MicroVM(
+        env,
+        config.host,
+        config.vmm,
+        cache,
+        profile.total_pages,
+        label=tag,
+        cpu=cpu,
+        use_uffd=(policy is Policy.REAP),
+    )
+
+    # Concurrent paging starts the instant the request arrives —
+    # before the VMM even begins setup (§4.2).
+    loader_proc = None
+    loader_stats = LoaderStats()
+    if policy.uses_loader:
+        loader_proc, loader_stats = _start_loader(
+            env, config, cache, artifacts, policy, loader_gate, tag
+        )
+
+    fetch_time_us = 0.0
+    fetch_bytes = 0
+
+    if policy is Policy.WARM:
+        vm.make_warm(warm)
+        setup_us = 0.0
+    elif policy is Policy.FIRECRACKER:
+        setup_us = yield from vm.restore(warm, full_file_plan(warm))
+    elif policy is Policy.CACHED:
+        cache.warm_file(warm.memory_file.name, warm.memory_file.pages)
+        setup_us = yield from vm.restore(warm, full_file_plan(warm))
+    elif policy is Policy.REAP:
+        assert artifacts.reap_ws is not None
+        assert artifacts.reap_ws_file is not None
+        plan = MappingPlan()
+        plan.add_anonymous(0, profile.total_pages)
+        setup_us = yield from vm.restore(warm, plan)
+        assert vm.uffd is not None
+        vm.uffd.register(
+            0,
+            profile.total_pages,
+            make_reap_fault_handler(env, config.host, cache, warm),
+        )
+        vm.handler.io_device = warm.memory_file.device
+        fetch_time_us = yield from reap_setup(
+            env, config.host, vm, artifacts.reap_ws, artifacts.reap_ws_file, warm
+        )
+        fetch_bytes = len(artifacts.reap_ws) * PAGE_SIZE
+        setup_us += fetch_time_us
+    elif policy is Policy.FAASNAP_CONCURRENT:
+        setup_us = yield from vm.restore(warm, full_file_plan(warm))
+    else:  # FAASNAP and FAASNAP_PER_REGION
+        loading_set = (
+            artifacts.loading_set if policy.uses_loading_set_file else None
+        )
+        loading_file = (
+            artifacts.loading_file if policy.uses_loading_set_file else None
+        )
+        plan = build_faasnap_plan(
+            warm,
+            loading_set,
+            loading_file,
+            nonzero_merge_gap=config.nonzero_merge_gap,
+        )
+        setup_us = yield from vm.restore(warm, plan)
+
+    invoke_started = env.now
+    yield from vm.vcpu.run_trace(trace.accesses, tail_think_us=trace.tail_think_us)
+    invoke_us = env.now - invoke_started
+
+    if loader_proc is not None:
+        if loader_proc.is_alive:
+            yield loader_proc
+        fetch_time_us = loader_stats.fetch_time_us
+        fetch_bytes = loader_stats.bytes_read
+
+    if tracer is not None:
+        root = tracer.record(
+            f"{profile.name} [{policy.value}]", request_time, env.now
+        )
+        setup_span = tracer.record(
+            "setup", request_time, request_time + setup_us, parent=root
+        )
+        if policy is Policy.REAP and fetch_time_us > 0:
+            tracer.record(
+                "working-set fetch + UFFDIO_COPY",
+                request_time + setup_us - fetch_time_us,
+                request_time + setup_us,
+                parent=setup_span,
+            )
+        tracer.record(
+            "invoke", invoke_started, invoke_started + invoke_us, parent=root
+        )
+        if loader_proc is not None and loader_stats.finished_us > 0:
+            span = tracer.record(
+                "concurrent loader",
+                loader_stats.started_us,
+                loader_stats.finished_us,
+                parent=root,
+            )
+            span.annotate(
+                f"fetched {loader_stats.bytes_read / 1e6:.1f} MB in "
+                f"{loader_stats.requests} requests"
+            )
+
+    function_files = [warm.memory_file.name]
+    if artifacts.loading_file is not None:
+        function_files.append(artifacts.loading_file.name)
+    if artifacts.reap_ws_file is not None:
+        function_files.append(artifacts.reap_ws_file.name)
+    cache_pages = sum(cache.count_for_file(name) for name in function_files)
+    private_buffer_pages = (
+        len(artifacts.reap_ws)
+        if policy is Policy.REAP and artifacts.reap_ws is not None
+        else 0
+    )
+
+    return InvocationResult(
+        policy=policy,
+        function=profile.name,
+        input=test_input,
+        setup_us=setup_us,
+        invoke_us=invoke_us,
+        fetch_time_us=fetch_time_us,
+        fetch_bytes=fetch_bytes,
+        fault_records=list(vm.handler.stats.records),
+        uffd_faults=vm.uffd.delegated_faults if vm.uffd else 0,
+        rss_pages=vm.space.rss_pages(),
+        cache_pages=cache_pages,
+        private_buffer_pages=private_buffer_pages,
+    )
+
+
+def _check_artifacts(artifacts: RecordArtifacts, policy: Policy) -> None:
+    """Refuse mismatched record/test pairings early."""
+    if policy.is_faasnap_family and not artifacts.sanitize:
+        raise ValueError(
+            f"{policy.value} needs a sanitize=True record phase"
+        )
+    if policy is Policy.REAP and artifacts.sanitize:
+        raise ValueError("REAP needs a sanitize=False record phase")
+    if policy in (Policy.FIRECRACKER, Policy.CACHED, Policy.WARM) and (
+        artifacts.sanitize
+    ):
+        raise ValueError(
+            f"{policy.value} compares against unsanitized snapshots"
+        )

@@ -1,0 +1,161 @@
+"""Snapshot storage management (paper §7.2).
+
+Snapshots cost real storage: a memory file is a full copy of guest
+memory (saved sparse, so its footprint is its non-zero pages), plus
+the loading-set or working-set file. The paper's discussion section
+lays out the policy this module implements:
+
+* track per-function snapshot bundles and their on-disk footprint;
+* enforce a storage quota, evicting the least valuable bundles —
+  least-recently-used first, like warm-VM eviction one tier up;
+* skip snapshotting very infrequent functions entirely ("for very
+  infrequent functions, providers can choose to not take snapshots
+  at all to reduce overall storage requirements").
+
+Evicting a bundle is safe: the next invocation of that function falls
+back to a cold start and re-records, exactly as the fleet scheduler
+models it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.restore import RecordArtifacts
+from repro.storage.filestore import PAGE_SIZE
+
+
+@dataclass
+class SnapshotBundle:
+    """The on-disk artefacts of one function's snapshot."""
+
+    function: str
+    #: Sparse memory file footprint: non-zero pages only (§7.2).
+    memory_bytes: int
+    #: Loading-set or working-set file footprint.
+    artifact_bytes: int
+    created_us: float
+    last_used_us: float
+    invocations: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.memory_bytes + self.artifact_bytes
+
+
+def bundle_from_artifacts(
+    artifacts: RecordArtifacts, now_us: float
+) -> SnapshotBundle:
+    """Measure a record phase's on-disk footprint."""
+    memory_bytes = (
+        len(artifacts.warm_snapshot.memory_file.pages) * PAGE_SIZE
+    )
+    artifact_bytes = 0
+    if artifacts.loading_file is not None:
+        artifact_bytes += artifacts.loading_file.size_bytes
+    if artifacts.reap_ws_file is not None:
+        artifact_bytes += artifacts.reap_ws_file.size_bytes
+    return SnapshotBundle(
+        function=artifacts.profile.name,
+        memory_bytes=memory_bytes,
+        artifact_bytes=artifact_bytes,
+        created_us=now_us,
+        last_used_us=now_us,
+    )
+
+
+@dataclass
+class StorageStats:
+    """Counters for capacity planning."""
+
+    admitted: int = 0
+    rejected_infrequent: int = 0
+    evictions: int = 0
+    evicted_bytes: int = 0
+
+
+class SnapshotStorageManager:
+    """Quota-enforcing registry of snapshot bundles."""
+
+    def __init__(
+        self,
+        quota_bytes: int,
+        min_invocations_per_hour: float = 0.0,
+    ):
+        """``min_invocations_per_hour`` below which a function is not
+        worth snapshotting (0 admits everything)."""
+        if quota_bytes <= 0:
+            raise ValueError("quota must be positive")
+        self.quota_bytes = quota_bytes
+        self.min_invocations_per_hour = min_invocations_per_hour
+        self._bundles: Dict[str, SnapshotBundle] = {}
+        self.stats = StorageStats()
+
+    @property
+    def stored_bytes(self) -> int:
+        return sum(b.total_bytes for b in self._bundles.values())
+
+    @property
+    def stored_functions(self) -> List[str]:
+        return sorted(self._bundles)
+
+    def has_snapshot(self, function: str) -> bool:
+        return function in self._bundles
+
+    def get(self, function: str) -> Optional[SnapshotBundle]:
+        return self._bundles.get(function)
+
+    def should_snapshot(self, invocations_per_hour: float) -> bool:
+        """Policy gate: is this function frequent enough to justify
+        the storage (§7.2)?"""
+        return invocations_per_hour >= self.min_invocations_per_hour
+
+    def admit(
+        self,
+        bundle: SnapshotBundle,
+        invocations_per_hour: float = float("inf"),
+    ) -> bool:
+        """Store ``bundle``, evicting LRU bundles to fit the quota.
+
+        Returns False (and stores nothing) when the function is too
+        infrequent or the bundle alone exceeds the quota.
+        """
+        if not self.should_snapshot(invocations_per_hour):
+            self.stats.rejected_infrequent += 1
+            return False
+        if bundle.total_bytes > self.quota_bytes:
+            return False
+        existing = self._bundles.pop(bundle.function, None)
+        self._evict_until_fits(bundle.total_bytes)
+        self._bundles[bundle.function] = bundle
+        if existing is None:
+            self.stats.admitted += 1
+        return True
+
+    def touch(self, function: str, now_us: float) -> None:
+        """Record a snapshot-served invocation (refreshes LRU)."""
+        bundle = self._bundles.get(function)
+        if bundle is None:
+            raise KeyError(f"no snapshot stored for {function!r}")
+        bundle.last_used_us = now_us
+        bundle.invocations += 1
+
+    def evict(self, function: str) -> SnapshotBundle:
+        """Explicitly drop a function's snapshot."""
+        bundle = self._bundles.pop(function, None)
+        if bundle is None:
+            raise KeyError(f"no snapshot stored for {function!r}")
+        self.stats.evictions += 1
+        self.stats.evicted_bytes += bundle.total_bytes
+        return bundle
+
+    def _evict_until_fits(self, incoming_bytes: int) -> None:
+        while (
+            self._bundles
+            and self.stored_bytes + incoming_bytes > self.quota_bytes
+        ):
+            victim = min(
+                self._bundles.values(), key=lambda b: b.last_used_us
+            )
+            self.evict(victim.function)

@@ -1,0 +1,48 @@
+"""One module per table/figure of the paper's evaluation.
+
+Each module exposes ``run(...)`` returning a result object with raw
+rows, and ``format_table(result)`` rendering the same rows the paper
+reports. The benchmark harness under ``benchmarks/`` wraps these, and
+``examples/paper_figures.py`` drives them from the command line.
+
+Experiment index (see DESIGN.md for the full mapping):
+
+========  ==========================================================
+fig1      Setup/invocation time breakdown, 5 functions x 4 systems
+fig2      Page-fault handling-time histogram for image-diff
+table2    Working-set sizes of all 13 Table 2 functions
+fig6      Execution time, 9 functions, inputs A->B and B->A
+fig7      Execution time of the 3 synthetic functions
+fig8      Input-size sensitivity sweep (ratios 1/4..4)
+table3    ffmpeg/image performance analysis, REAP vs FaaSnap
+fig9      Optimization-step ablation on image
+fig10     Bursty workloads (1..64 parallel, same/diff snapshots)
+fig11     All functions on remote (EBS) storage
+========  ==========================================================
+"""
+
+from repro.experiments import (  # noqa: F401
+    fig1_breakdown,
+    fig2_fault_histogram,
+    fig6_execution,
+    fig7_synthetic,
+    fig8_sensitivity,
+    fig9_ablation,
+    fig10_bursty,
+    fig11_remote,
+    table2_workloads,
+    table3_analysis,
+)
+
+ALL_EXPERIMENTS = {
+    "fig1": fig1_breakdown,
+    "fig2": fig2_fault_histogram,
+    "table2": table2_workloads,
+    "fig6": fig6_execution,
+    "fig7": fig7_synthetic,
+    "fig8": fig8_sensitivity,
+    "table3": table3_analysis,
+    "fig9": fig9_ablation,
+    "fig10": fig10_bursty,
+    "fig11": fig11_remote,
+}

@@ -1,0 +1,109 @@
+"""Shared experiment plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.daemon import FaaSnapPlatform, FunctionHandle
+from repro.core.policies import Policy
+from repro.core.restore import InvocationResult, PlatformConfig
+from repro.workloads.base import INPUT_A, InputSpec
+from repro.workloads.registry import get_profile
+
+#: Test-phase content id used when "the same size but different
+#: contents" is required (the record phase uses content 1).
+DIFF_CONTENT_ID = 9
+
+
+@dataclass
+class Cell:
+    """One measured cell of a figure: a (function, policy, input)
+    combination with its invocation result."""
+
+    function: str
+    policy: Policy
+    test_input: InputSpec
+    record_input: InputSpec
+    result: InvocationResult
+
+    @property
+    def total_ms(self) -> float:
+        return self.result.total_ms
+
+    @property
+    def setup_ms(self) -> float:
+        return self.result.setup_us / 1000.0
+
+    @property
+    def invoke_ms(self) -> float:
+        return self.result.invoke_us / 1000.0
+
+
+@dataclass
+class Grid:
+    """A collection of cells with lookup helpers."""
+
+    cells: List[Cell] = field(default_factory=list)
+
+    def add(self, cell: Cell) -> None:
+        self.cells.append(cell)
+
+    def get(
+        self, function: str, policy: Policy, **matchers
+    ) -> Cell:
+        matches = [
+            c
+            for c in self.cells
+            if c.function == function
+            and c.policy is policy
+            and all(
+                getattr(c.test_input, key) == value
+                for key, value in matchers.items()
+            )
+        ]
+        if len(matches) != 1:
+            raise KeyError(
+                f"{len(matches)} cells match ({function}, {policy.value}, "
+                f"{matchers})"
+            )
+        return matches[0]
+
+    def totals_ms(self, policy: Policy) -> Dict[str, float]:
+        return {
+            c.function: c.total_ms for c in self.cells if c.policy is policy
+        }
+
+
+def fresh_platform(
+    config: Optional[PlatformConfig] = None,
+    remote_storage: bool = False,
+    functions: Tuple[str, ...] = (),
+) -> Tuple[FaaSnapPlatform, Dict[str, FunctionHandle]]:
+    """A platform with the named Table 2 functions registered."""
+    platform = FaaSnapPlatform(config=config, remote_storage=remote_storage)
+    handles = {
+        name: platform.register_function(get_profile(name))
+        for name in functions
+    }
+    return platform, handles
+
+
+def measure(
+    platform: FaaSnapPlatform,
+    handle: FunctionHandle,
+    policy: Policy,
+    test_input: InputSpec,
+    record_input: InputSpec = INPUT_A,
+) -> Cell:
+    """One measured invocation as a grid cell."""
+    result = platform.invoke(
+        handle, test_input, policy, record_input=record_input
+    )
+    return Cell(
+        function=handle.name,
+        policy=policy,
+        test_input=test_input,
+        record_input=record_input,
+        result=result,
+    )

@@ -1,0 +1,126 @@
+"""Figure 10: performance with bursty workloads (§6.6).
+
+1..64 simultaneous invocations of hello-world and json, restoring
+either the same snapshot (one bursty application) or different
+snapshots (many applications), under Firecracker / REAP / FaaSnap.
+Host CPU slots are modelled so the 64-way burst saturates the CPU as
+in the paper.
+
+Per the artifact appendix (E3 runs ``test-2inputs.json``), the record
+phase uses input A and the burst invocations use input B — which is
+why the paper notes REAP suffers for json, "whose working set has
+more variance".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.policies import Policy
+from repro.core.restore import PlatformConfig
+from repro.experiments.common import fresh_platform
+from repro.metrics.report import render_table
+from repro.metrics.stats import mean, stddev
+from repro.workloads.base import INPUT_A
+from repro.workloads.registry import get_profile
+
+POLICIES = (Policy.FIRECRACKER, Policy.REAP, Policy.FAASNAP)
+DEFAULT_PARALLELISMS = (1, 4, 16, 64)
+DEFAULT_FUNCTIONS = ("hello-world", "json")
+
+BurstKey = Tuple[str, str, Policy, int]  # function, mode, policy, parallelism
+
+
+@dataclass
+class BurstPoint:
+    mean_ms: float
+    std_ms: float
+    max_ms: float
+
+
+@dataclass
+class Fig10Result:
+    points: Dict[BurstKey, BurstPoint] = field(default_factory=dict)
+    parallelisms: Tuple[int, ...] = DEFAULT_PARALLELISMS
+    functions: Tuple[str, ...] = DEFAULT_FUNCTIONS
+
+
+def run(
+    config: Optional[PlatformConfig] = None,
+    functions: Sequence[str] = DEFAULT_FUNCTIONS,
+    parallelisms: Sequence[int] = DEFAULT_PARALLELISMS,
+) -> Fig10Result:
+    if config is None:
+        config = PlatformConfig()
+    if config.cpu_slots is None:
+        config = dataclasses.replace(config, cpu_slots=config.host.cpu_slots)
+    result = Fig10Result(
+        parallelisms=tuple(parallelisms), functions=tuple(functions)
+    )
+    for mode in ("same", "diff"):
+        for name in functions:
+            # A fresh platform per (mode, function) keeps snapshot
+            # files and cache state independent across curves.
+            platform, handles = fresh_platform(config, functions=(name,))
+            clones = (
+                platform.make_clones(handles[name], max(parallelisms))
+                if mode == "diff"
+                else None
+            )
+            test_input = get_profile(name).input_b()
+            for policy in POLICIES:
+                for parallelism in parallelisms:
+                    results = platform.invoke_burst(
+                        handles[name],
+                        test_input,
+                        policy,
+                        parallelism=parallelism,
+                        same_snapshot=(mode == "same"),
+                        record_input=INPUT_A,
+                        clones=clones,
+                    )
+                    totals = [r.total_ms for r in results]
+                    result.points[(name, mode, policy, parallelism)] = (
+                        BurstPoint(
+                            mean_ms=mean(totals),
+                            std_ms=stddev(totals),
+                            max_ms=max(totals),
+                        )
+                    )
+    return result
+
+
+def format_table(result: Fig10Result) -> str:
+    blocks: List[str] = []
+    for mode in ("same", "diff"):
+        for name in result.functions:
+            rows = []
+            for policy in POLICIES:
+                row: List[object] = [policy.value]
+                for parallelism in result.parallelisms:
+                    point = result.points.get((name, mode, policy, parallelism))
+                    row.append(point.mean_ms if point else float("nan"))
+                rows.append(row)
+            blocks.append(
+                render_table(
+                    ["system"]
+                    + [f"p={p}_ms" for p in result.parallelisms],
+                    rows,
+                    title=(
+                        f"Figure 10: {name}, "
+                        f"{'same snapshot' if mode == 'same' else 'different snapshots'}"
+                        " (mean total ms)"
+                    ),
+                )
+            )
+    return "\n\n".join(blocks)
+
+
+def main() -> None:  # pragma: no cover
+    print(format_table(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

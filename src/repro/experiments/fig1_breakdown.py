@@ -1,0 +1,98 @@
+"""Figure 1: time breakdown of function invocations (paper §3.2).
+
+Five functions (hello-world, image, image-diff, read-list, mmap)
+under Warm / Firecracker / Cached / REAP. The gray bars of the paper
+are our setup times (VMM start, vmstate restore, and REAP's blocking
+working-set load); the colored bars are the invocation times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.policies import Policy
+from repro.core.restore import PlatformConfig
+from repro.experiments.common import (
+    DIFF_CONTENT_ID,
+    Cell,
+    Grid,
+    fresh_platform,
+    measure,
+)
+from repro.metrics.report import render_table
+from repro.workloads.base import INPUT_A, InputSpec
+
+POLICIES = [Policy.WARM, Policy.FIRECRACKER, Policy.CACHED, Policy.REAP]
+FUNCTIONS = ["hello-world", "image", "read-list", "mmap"]
+
+
+@dataclass
+class Fig1Result:
+    grid: Grid
+
+
+def run(
+    config: Optional[PlatformConfig] = None,
+    functions: Optional[Sequence[str]] = None,
+) -> Fig1Result:
+    """Measure the Figure 1 matrix. ``image-diff`` is image invoked
+    with different same-sized content than its record phase."""
+    functions = list(functions or FUNCTIONS)
+    platform, handles = fresh_platform(config, functions=tuple(functions))
+    grid = Grid()
+    for name in functions:
+        for policy in POLICIES:
+            grid.add(measure(platform, handles[name], policy, INPUT_A))
+    if "image" in functions:
+        image_diff = InputSpec(content_id=DIFF_CONTENT_ID, size_ratio=1.0)
+        for policy in POLICIES:
+            cell = measure(platform, handles["image"], policy, image_diff)
+            grid.add(
+                Cell(
+                    function="image-diff",
+                    policy=cell.policy,
+                    test_input=cell.test_input,
+                    record_input=cell.record_input,
+                    result=cell.result,
+                )
+            )
+    return Fig1Result(grid=grid)
+
+
+def format_table(result: Fig1Result) -> str:
+    rows: List[list] = []
+    functions = []
+    for cell in result.grid.cells:
+        if cell.function not in functions:
+            functions.append(cell.function)
+    for function in functions:
+        for policy in POLICIES:
+            cells = [
+                c
+                for c in result.grid.cells
+                if c.function == function and c.policy is policy
+            ]
+            (cell,) = cells
+            rows.append(
+                [
+                    function,
+                    policy.value,
+                    cell.setup_ms,
+                    cell.invoke_ms,
+                    cell.total_ms,
+                ]
+            )
+    return render_table(
+        ["function", "system", "setup_ms", "invoke_ms", "total_ms"],
+        rows,
+        title="Figure 1: time breakdown of function invocations",
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(format_table(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,107 @@
+"""Figure 6: execution time of the benchmark functions (paper §6.2).
+
+Nine variable-input functions under Firecracker / REAP / FaaSnap /
+Cached, in both directions: record with input A and test with input B
+(left subfigure), and record with B, test with A (right subfigure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.policies import MAIN_POLICIES, Policy
+from repro.core.restore import PlatformConfig
+from repro.experiments.common import Grid, fresh_platform, measure
+from repro.metrics.report import render_table
+from repro.metrics.stats import geometric_mean
+from repro.workloads.base import INPUT_A
+from repro.workloads.registry import VARIABLE_INPUT_FUNCTIONS, get_profile
+
+
+@dataclass
+class Fig6Result:
+    #: direction "A->B" and "B->A" grids.
+    grids: Dict[str, Grid]
+
+    def speedup(
+        self, direction: str, over: Policy, of: Policy = Policy.FAASNAP
+    ) -> float:
+        """Geometric-mean speedup of ``of`` over ``over``."""
+        grid = self.grids[direction]
+        base = grid.totals_ms(over)
+        ours = grid.totals_ms(of)
+        return geometric_mean(
+            [base[fn] / ours[fn] for fn in ours]
+        )
+
+
+def run(
+    config: Optional[PlatformConfig] = None,
+    functions: Optional[Sequence[str]] = None,
+) -> Fig6Result:
+    functions = tuple(functions or VARIABLE_INPUT_FUNCTIONS)
+    platform, handles = fresh_platform(config, functions=functions)
+    grids = {"A->B": Grid(), "B->A": Grid()}
+    for name in functions:
+        input_b = get_profile(name).input_b()
+        for policy in MAIN_POLICIES:
+            grids["A->B"].add(
+                measure(
+                    platform,
+                    handles[name],
+                    policy,
+                    input_b,
+                    record_input=INPUT_A,
+                )
+            )
+            grids["B->A"].add(
+                measure(
+                    platform,
+                    handles[name],
+                    policy,
+                    INPUT_A,
+                    record_input=input_b,
+                )
+            )
+    return Fig6Result(grids=grids)
+
+
+def format_table(result: Fig6Result) -> str:
+    blocks: List[str] = []
+    for direction, grid in result.grids.items():
+        functions: List[str] = []
+        for cell in grid.cells:
+            if cell.function not in functions:
+                functions.append(cell.function)
+        rows = []
+        for function in functions:
+            row: List[object] = [function]
+            for policy in MAIN_POLICIES:
+                row.append(
+                    grid.totals_ms(policy)[function]
+                )
+            rows.append(row)
+        blocks.append(
+            render_table(
+                ["function"] + [p.value + "_ms" for p in MAIN_POLICIES],
+                rows,
+                title=f"Figure 6 ({direction}): end-to-end execution time",
+            )
+        )
+        blocks.append(
+            "geomean speedup of faasnap: "
+            f"{result.speedup(direction, Policy.FIRECRACKER):.2f}x over "
+            "firecracker, "
+            f"{result.speedup(direction, Policy.REAP):.2f}x over reap, "
+            f"{result.speedup(direction, Policy.CACHED):.2f}x vs cached"
+        )
+    return "\n\n".join(blocks)
+
+
+def main() -> None:  # pragma: no cover
+    print(format_table(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,62 @@
+"""Figure 7: execution time of the three synthetic functions (§6.2).
+
+hello-world, read-list and mmap use the same input in the record and
+test phases, so they are reported separately from Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.policies import MAIN_POLICIES
+from repro.core.restore import PlatformConfig
+from repro.experiments.common import Grid, fresh_platform, measure
+from repro.metrics.report import render_table
+from repro.workloads.base import INPUT_A
+from repro.workloads.registry import SYNTHETIC_FUNCTIONS
+
+
+@dataclass
+class Fig7Result:
+    grid: Grid
+
+
+def run(
+    config: Optional[PlatformConfig] = None,
+    functions: Optional[Sequence[str]] = None,
+) -> Fig7Result:
+    functions = tuple(functions or SYNTHETIC_FUNCTIONS)
+    platform, handles = fresh_platform(config, functions=functions)
+    grid = Grid()
+    for name in functions:
+        for policy in MAIN_POLICIES:
+            grid.add(measure(platform, handles[name], policy, INPUT_A))
+    return Fig7Result(grid=grid)
+
+
+def format_table(result: Fig7Result) -> str:
+    functions: List[str] = []
+    for cell in result.grid.cells:
+        if cell.function not in functions:
+            functions.append(cell.function)
+    rows = []
+    for function in functions:
+        row: List[object] = [function]
+        for policy in MAIN_POLICIES:
+            cell = result.grid.get(function, policy)
+            row.append(cell.total_ms)
+        rows.append(row)
+    return render_table(
+        ["function"] + [p.value + "_ms" for p in MAIN_POLICIES],
+        rows,
+        title="Figure 7: synthetic functions, total execution time",
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(format_table(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

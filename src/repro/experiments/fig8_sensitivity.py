@@ -1,0 +1,101 @@
+"""Figure 8: execution time under varying input-size ratios (§6.3).
+
+Record with input A; test with inputs whose effective size is 1/4x to
+4x of A (and whose contents are entirely different). REAP's execution
+time should climb steeply for ratios above 1 while FaaSnap tracks
+Cached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.policies import MAIN_POLICIES, Policy
+from repro.core.restore import PlatformConfig
+from repro.experiments.common import (
+    DIFF_CONTENT_ID,
+    Grid,
+    fresh_platform,
+    measure,
+)
+from repro.metrics.report import render_table
+from repro.workloads.base import INPUT_A, InputSpec
+from repro.workloads.registry import VARIABLE_INPUT_FUNCTIONS
+
+#: The paper's x axis.
+DEFAULT_RATIOS = (0.25, 0.5, 1.0, 2.0, 4.0)
+
+
+@dataclass
+class Fig8Result:
+    grid: Grid
+    ratios: Tuple[float, ...]
+
+    def series(self, function: str, policy: Policy) -> List[float]:
+        """Execution time (ms) by ratio for one curve of the figure."""
+        return [
+            self.grid.get(function, policy, size_ratio=ratio).total_ms
+            for ratio in self.ratios
+        ]
+
+    def degradation(self, function: str, policy: Policy) -> float:
+        """total(4x) / total(1x): how steeply the curve climbs."""
+        series = dict(zip(self.ratios, self.series(function, policy)))
+        return series[max(self.ratios)] / series[1.0]
+
+
+def run(
+    config: Optional[PlatformConfig] = None,
+    functions: Optional[Sequence[str]] = None,
+    ratios: Sequence[float] = DEFAULT_RATIOS,
+) -> Fig8Result:
+    functions = tuple(functions or VARIABLE_INPUT_FUNCTIONS)
+    platform, handles = fresh_platform(config, functions=functions)
+    grid = Grid()
+    for name in functions:
+        for ratio in ratios:
+            test_input = InputSpec(
+                content_id=DIFF_CONTENT_ID, size_ratio=ratio
+            )
+            for policy in MAIN_POLICIES:
+                grid.add(
+                    measure(
+                        platform,
+                        handles[name],
+                        policy,
+                        test_input,
+                        record_input=INPUT_A,
+                    )
+                )
+    return Fig8Result(grid=grid, ratios=tuple(ratios))
+
+
+def format_table(result: Fig8Result) -> str:
+    functions: List[str] = []
+    for cell in result.grid.cells:
+        if cell.function not in functions:
+            functions.append(cell.function)
+    blocks = []
+    for function in functions:
+        rows = []
+        for policy in MAIN_POLICIES:
+            rows.append(
+                [policy.value] + list(result.series(function, policy))
+            )
+        blocks.append(
+            render_table(
+                ["system"] + [f"{r:g}x_ms" for r in result.ratios],
+                rows,
+                title=f"Figure 8: {function} under input size ratios",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def main() -> None:  # pragma: no cover
+    print(format_table(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

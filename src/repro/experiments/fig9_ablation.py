@@ -1,0 +1,98 @@
+"""Figure 9: optimization steps and their effects (§6.5).
+
+Starting from stock Firecracker, add concurrent paging, then the
+per-region mapping bundle (working-set groups + host page recording +
+per-region mapping), then the full FaaSnap loading-set file. For the
+image benchmark, report invocation time, major-fault count, total
+page-fault handling time, and the number of block read requests
+issued by VM page faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.policies import ABLATION_POLICIES, Policy
+from repro.core.restore import PlatformConfig
+from repro.experiments.common import DIFF_CONTENT_ID, fresh_platform, measure
+from repro.metrics.report import render_table
+from repro.workloads.base import INPUT_A, InputSpec
+
+FUNCTION = "image"
+
+STEP_LABELS = {
+    Policy.FIRECRACKER: "firecracker",
+    Policy.FAASNAP_CONCURRENT: "con-paging",
+    Policy.FAASNAP_PER_REGION: "per-region",
+    Policy.FAASNAP: "faasnap",
+}
+
+
+@dataclass
+class AblationStep:
+    policy: Policy
+    invoke_ms: float
+    major_faults: int
+    fault_time_ms: float
+    block_requests: int
+
+
+@dataclass
+class Fig9Result:
+    steps: Dict[Policy, AblationStep]
+
+
+def run(
+    config: Optional[PlatformConfig] = None, function: str = FUNCTION
+) -> Fig9Result:
+    platform, handles = fresh_platform(config, functions=(function,))
+    test_input = InputSpec(content_id=DIFF_CONTENT_ID, size_ratio=1.0)
+    steps: Dict[Policy, AblationStep] = {}
+    for policy in ABLATION_POLICIES:
+        cell = measure(
+            platform, handles[function], policy, test_input, record_input=INPUT_A
+        )
+        result = cell.result
+        steps[policy] = AblationStep(
+            policy=policy,
+            invoke_ms=cell.invoke_ms,
+            major_faults=result.major_faults,
+            fault_time_ms=result.fault_time_us / 1000.0,
+            block_requests=result.fault_block_requests,
+        )
+    return Fig9Result(steps=steps)
+
+
+def format_table(result: Fig9Result) -> str:
+    rows: List[list] = []
+    for policy in ABLATION_POLICIES:
+        step = result.steps[policy]
+        rows.append(
+            [
+                STEP_LABELS[policy],
+                step.invoke_ms,
+                step.major_faults,
+                step.fault_time_ms,
+                step.block_requests,
+            ]
+        )
+    return render_table(
+        [
+            "step",
+            "invoke_ms",
+            "major_faults",
+            "fault_time_ms",
+            "block_requests",
+        ],
+        rows,
+        title="Figure 9: optimization steps and their effects (image)",
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(format_table(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

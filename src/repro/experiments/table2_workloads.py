@@ -1,0 +1,68 @@
+"""Table 2: the evaluation functions and their working sets.
+
+Regenerates the paper's Table 2 from the workload models: for every
+function, the measured working-set size under input A and input B,
+next to the paper's reported values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.metrics.report import render_table
+from repro.workloads.base import INPUT_A, generate_trace
+from repro.workloads.registry import BENCHMARK_FUNCTIONS, get_profile
+
+
+@dataclass
+class Table2Row:
+    function: str
+    description: str
+    ws_a_mb: float
+    ws_b_mb: float
+    paper_ws_a_mb: float
+    paper_ws_b_mb: float
+
+
+@dataclass
+class Table2Result:
+    rows: List[Table2Row]
+
+
+def run(functions: Optional[Sequence[str]] = None) -> Table2Result:
+    rows = []
+    for name in functions or BENCHMARK_FUNCTIONS:
+        profile = get_profile(name)
+        trace_a = generate_trace(profile, INPUT_A)
+        trace_b = generate_trace(profile, profile.input_b())
+        rows.append(
+            Table2Row(
+                function=name,
+                description=profile.description,
+                ws_a_mb=trace_a.working_set_mb,
+                ws_b_mb=trace_b.working_set_mb,
+                paper_ws_a_mb=profile.ws_a_mb,
+                paper_ws_b_mb=profile.ws_b_mb,
+            )
+        )
+    return Table2Result(rows=rows)
+
+
+def format_table(result: Table2Result) -> str:
+    return render_table(
+        ["function", "WS A (MB)", "paper A", "WS B (MB)", "paper B"],
+        [
+            [r.function, r.ws_a_mb, r.paper_ws_a_mb, r.ws_b_mb, r.paper_ws_b_mb]
+            for r in result.rows
+        ],
+        title="Table 2: working sets, measured vs paper",
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(format_table(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

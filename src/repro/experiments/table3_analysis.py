@@ -1,0 +1,103 @@
+"""Table 3: performance analysis of ffmpeg and image (§6.4).
+
+For REAP and FaaSnap on the A->B scenario: total time, working-set
+fetch time and size, guest page-fault read size, and page-fault
+waiting time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.policies import Policy
+from repro.core.restore import PlatformConfig
+from repro.experiments.common import fresh_platform, measure
+from repro.metrics.report import render_table
+from repro.workloads.base import INPUT_A
+from repro.workloads.registry import get_profile
+
+FUNCTIONS = ("ffmpeg", "image")
+POLICIES = (Policy.REAP, Policy.FAASNAP)
+
+
+@dataclass
+class Table3Row:
+    system: Policy
+    function: str
+    total_ms: float
+    fetch_ms: float
+    fetch_mb: float
+    guest_fault_mb: float
+    fault_wait_ms: float
+
+
+@dataclass
+class Table3Result:
+    rows: List[Table3Row]
+
+    def get(self, policy: Policy, function: str) -> Table3Row:
+        for row in self.rows:
+            if row.system is policy and row.function == function:
+                return row
+        raise KeyError((policy, function))
+
+
+def run(
+    config: Optional[PlatformConfig] = None,
+    functions: Sequence[str] = FUNCTIONS,
+) -> Table3Result:
+    platform, handles = fresh_platform(config, functions=tuple(functions))
+    rows: List[Table3Row] = []
+    for name in functions:
+        input_b = get_profile(name).input_b()
+        for policy in POLICIES:
+            cell = measure(
+                platform, handles[name], policy, input_b, record_input=INPUT_A
+            )
+            result = cell.result
+            rows.append(
+                Table3Row(
+                    system=policy,
+                    function=name,
+                    total_ms=result.total_ms,
+                    fetch_ms=result.fetch_time_us / 1000.0,
+                    fetch_mb=result.fetch_bytes / 1e6,
+                    guest_fault_mb=result.guest_fault_bytes / 1e6,
+                    fault_wait_ms=result.fault_time_us / 1000.0,
+                )
+            )
+    return Table3Result(rows=rows)
+
+
+def format_table(result: Table3Result) -> str:
+    return render_table(
+        [
+            "system, function",
+            "total_ms",
+            "fetch_ms",
+            "fetch_MB",
+            "guest_fault_MB",
+            "fault_wait_ms",
+        ],
+        [
+            [
+                f"{row.system.value}, {row.function}",
+                row.total_ms,
+                row.fetch_ms,
+                row.fetch_mb,
+                row.guest_fault_mb,
+                row.fault_wait_ms,
+            ]
+            for row in result.rows
+        ],
+        title="Table 3: performance analysis (record A, test B)",
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(format_table(run()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

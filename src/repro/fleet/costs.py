@@ -1,0 +1,103 @@
+"""Per-function serving costs, measured by the core simulation.
+
+The fleet simulator schedules thousands of invocations; replaying
+each one at page granularity would be wasteful and adds nothing —
+serving cost depends only on (function, start kind, restore policy),
+all of which the page-level simulator measures exactly once here.
+
+* **warm** — a warm VM serves the invocation (paper §3.1's Warm).
+* **snapshot** — restore under the configured policy (Firecracker /
+  REAP / FaaSnap), setup plus invocation, caches cold (§6.1's
+  methodology: the pessimistic-but-fair case for a function that has
+  not run recently).
+* **cold** — boot the VMM and kernel, initialise the runtime, then
+  run with warm-equivalent memory (nothing to page in from a
+  snapshot).
+
+Memory numbers feed the scheduler's budget: a warm VM holds its RSS;
+a stored snapshot holds no memory (it lives on disk) but its restore
+temporarily populates the page cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.daemon import FaaSnapPlatform
+from repro.core.policies import Policy
+from repro.core.restore import PlatformConfig
+from repro.workloads.base import INPUT_A, InputSpec
+from repro.workloads.registry import get_profile
+
+
+@dataclass(frozen=True)
+class FunctionCosts:
+    """Measured serving costs of one function."""
+
+    profile_name: str
+    policy: Policy
+    warm_us: float
+    snapshot_us: float
+    cold_us: float
+    #: Resident memory of a warm VM of this function, MB.
+    warm_memory_mb: float
+
+    def start_cost_us(self, kind: str) -> float:
+        return {
+            "warm": self.warm_us,
+            "snapshot": self.snapshot_us,
+            "cold": self.cold_us,
+        }[kind]
+
+
+class CostModel:
+    """Measures and caches :class:`FunctionCosts` per (profile,
+    policy) using one shared page-level platform."""
+
+    def __init__(self, config: Optional[PlatformConfig] = None):
+        self.config = config or PlatformConfig()
+        self._platform = FaaSnapPlatform(self.config)
+        self._cache: Dict[Tuple[str, Policy], FunctionCosts] = {}
+
+    def costs(
+        self,
+        profile_name: str,
+        policy: Policy,
+        test_input: Optional[InputSpec] = None,
+    ) -> FunctionCosts:
+        """Measured costs for ``profile_name`` restored via ``policy``."""
+        key = (profile_name, policy)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+
+        profile = get_profile(profile_name)
+        test_input = test_input or InputSpec(content_id=3, size_ratio=1.0)
+        try:
+            handle = self._platform.function(profile_name)
+        except KeyError:
+            handle = self._platform.register_function(profile)
+
+        warm = self._platform.invoke(
+            handle, test_input, Policy.WARM, record_input=INPUT_A
+        )
+        snapshot = self._platform.invoke(
+            handle, test_input, policy, record_input=INPUT_A
+        )
+        cold_us = (
+            self.config.vmm.vmm_start_us
+            + self.config.vmm.cold_boot_us
+            + profile.runtime_init_us
+            + warm.total_us
+        )
+        costs = FunctionCosts(
+            profile_name=profile_name,
+            policy=policy,
+            warm_us=warm.total_us,
+            snapshot_us=snapshot.total_us,
+            cold_us=cold_us,
+            warm_memory_mb=warm.rss_pages * 4096 / 1e6,
+        )
+        self._cache[key] = costs
+        return costs

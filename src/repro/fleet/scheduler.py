@@ -1,0 +1,214 @@
+"""Event-driven fleet scheduler with keep-alive and memory budget.
+
+Implements the serving hierarchy of paper §7.1: an invocation lands
+on a warm VM if one is idle, is served from a snapshot if one exists,
+and cold-boots otherwise. Warm VMs are kept alive for a TTL after
+their last invocation (AWS Lambda keeps 15-60 minutes, §2.1) and are
+evicted LRU-first under a host memory budget — eviction-to-snapshot
+being exactly the role the paper assigns FaaSnap.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.policies import Policy
+from repro.fleet.costs import CostModel, FunctionCosts
+from repro.fleet.workload import ArrivalTrace, FleetFunction
+
+US_PER_MINUTE = 60_000_000.0
+
+
+class StartKind(enum.Enum):
+    WARM = "warm"
+    SNAPSHOT = "snapshot"
+    COLD = "cold"
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Scheduler policy knobs."""
+
+    #: Restore policy used for snapshot starts.
+    restore_policy: Policy = Policy.FAASNAP
+    #: Keep a finished VM warm for this long (§2.1: 15-60 min at AWS).
+    keep_alive_ttl_us: float = 15 * US_PER_MINUTE
+    #: Host memory available for keeping VMs (warm or running), MB.
+    memory_budget_mb: float = 16_384.0
+    #: Disable to model a platform with no snapshot tier (warm or
+    #: cold only) — the baseline FaaSnap argues against.
+    snapshots_enabled: bool = True
+
+
+@dataclass
+class _Vm:
+    function: str
+    memory_mb: float
+    busy_until: float
+    last_used: float
+
+
+@dataclass
+class ServedInvocation:
+    time_us: float
+    function: str
+    kind: StartKind
+    latency_us: float
+
+
+@dataclass
+class FleetReport:
+    """Outcome of one fleet simulation."""
+
+    served: List[ServedInvocation] = field(default_factory=list)
+    #: Memory in use (warm + running VMs) sampled at each arrival.
+    memory_samples_mb: List[float] = field(default_factory=list)
+    evictions: int = 0
+
+    def count(self, kind: Optional[StartKind] = None) -> int:
+        if kind is None:
+            return len(self.served)
+        return sum(1 for s in self.served if s.kind is kind)
+
+    def fraction(self, kind: StartKind) -> float:
+        return self.count(kind) / len(self.served) if self.served else 0.0
+
+    def latency_percentile(self, percentile: float) -> float:
+        """Latency at ``percentile`` (0..100), microseconds."""
+        if not self.served:
+            return 0.0
+        ordered = sorted(s.latency_us for s in self.served)
+        index = min(
+            len(ordered) - 1, int(percentile / 100.0 * len(ordered))
+        )
+        return ordered[index]
+
+    def mean_latency_us(self) -> float:
+        if not self.served:
+            return 0.0
+        return sum(s.latency_us for s in self.served) / len(self.served)
+
+    def mean_memory_mb(self) -> float:
+        if not self.memory_samples_mb:
+            return 0.0
+        return sum(self.memory_samples_mb) / len(self.memory_samples_mb)
+
+
+class FleetSimulator:
+    """Replays an arrival trace against measured serving costs."""
+
+    def __init__(
+        self,
+        fleet: Sequence[FleetFunction],
+        config: FleetConfig,
+        cost_model: Optional[CostModel] = None,
+        costs: Optional[Dict[str, FunctionCosts]] = None,
+    ):
+        """``costs`` may be supplied directly (keyed by fleet function
+        name); otherwise each function's costs are measured through
+        ``cost_model`` (created on demand)."""
+        self.fleet = {f.name: f for f in fleet}
+        self.config = config
+        if costs is not None:
+            self._costs = dict(costs)
+        else:
+            cost_model = cost_model or CostModel()
+            self._costs = {
+                f.name: cost_model.costs(
+                    f.profile_name, config.restore_policy
+                )
+                for f in fleet
+            }
+
+    def run(self, trace: ArrivalTrace) -> FleetReport:
+        report = FleetReport()
+        idle: Dict[str, List[_Vm]] = {name: [] for name in self.fleet}
+        running: List = []  # heap of (busy_until, seq, _Vm)
+        seq = itertools.count()
+        has_snapshot: Dict[str, bool] = {name: False for name in self.fleet}
+        memory_mb = 0.0
+
+        def complete_up_to(now: float) -> None:
+            nonlocal memory_mb
+            while running and running[0][0] <= now:
+                _, _, vm = heapq.heappop(running)
+                # The first completed invocation leaves a snapshot
+                # behind (the record phase, Figure 5).
+                has_snapshot[vm.function] = True
+                if self.config.keep_alive_ttl_us > 0:
+                    vm.last_used = vm.busy_until
+                    idle[vm.function].append(vm)
+                else:
+                    memory_mb -= vm.memory_mb
+
+        def evict_expired(now: float) -> None:
+            nonlocal memory_mb
+            ttl = self.config.keep_alive_ttl_us
+            for pool in idle.values():
+                keep = []
+                for vm in pool:
+                    if now - vm.last_used > ttl:
+                        memory_mb -= vm.memory_mb
+                        report.evictions += 1
+                    else:
+                        keep.append(vm)
+                pool[:] = keep
+
+        def evict_lru_until_fits(extra_mb: float) -> None:
+            nonlocal memory_mb
+            candidates = [
+                vm for pool in idle.values() for vm in pool
+            ]
+            candidates.sort(key=lambda vm: vm.last_used)
+            for vm in candidates:
+                if memory_mb + extra_mb <= self.config.memory_budget_mb:
+                    break
+                idle[vm.function].remove(vm)
+                memory_mb -= vm.memory_mb
+                report.evictions += 1
+
+        for arrival in trace.arrivals:
+            now = arrival.time_us
+            complete_up_to(now)
+            evict_expired(now)
+
+            name = arrival.function
+            costs = self._costs[name]
+            pool = idle[name]
+            if pool:
+                # Reuse the most recently used warm VM.
+                vm = max(pool, key=lambda v: v.last_used)
+                pool.remove(vm)
+                kind = StartKind.WARM
+                latency = costs.warm_us
+            else:
+                if self.config.snapshots_enabled and has_snapshot[name]:
+                    kind = StartKind.SNAPSHOT
+                    latency = costs.snapshot_us
+                else:
+                    kind = StartKind.COLD
+                    latency = costs.cold_us
+                evict_lru_until_fits(costs.warm_memory_mb)
+                memory_mb += costs.warm_memory_mb
+                vm = _Vm(
+                    function=name,
+                    memory_mb=costs.warm_memory_mb,
+                    busy_until=0.0,
+                    last_used=now,
+                )
+            vm.busy_until = now + latency
+            vm.last_used = now
+            heapq.heappush(running, (vm.busy_until, next(seq), vm))
+
+            report.served.append(
+                ServedInvocation(
+                    time_us=now, function=name, kind=kind, latency_us=latency
+                )
+            )
+            report.memory_samples_mb.append(memory_mb)
+
+        return report

@@ -1,0 +1,325 @@
+"""The host page-fault handler.
+
+Every guest memory access funnels through :meth:`FaultHandler.access`.
+Guest memory is mapped at two levels, as on real KVM hosts:
+
+* the **host PTE** (``AddressSpace.pte``) — the VMM process's mapping
+  of the page, installed by fault handling or by ``UFFDIO_COPY``;
+* the **EPT entry** (``AddressSpace.ept``) — the guest-physical
+  mapping KVM establishes the first time the vCPU touches the page.
+
+An access classifies exactly as the paper's Section 3 measures:
+
+==========  ========================================================
+Kind        Meaning and cost
+==========  ========================================================
+NONE        EPT entry exists — no fault, no cost.
+PRESENT     Host PTE exists but no EPT entry (e.g. installed by
+            UFFDIO_COPY): only the fast KVM fixup (<4 us; REAP's
+            in-working-set faults).
+ANON        Anonymous zero-fill fault (~2.5 us): warm-VM pages and
+            FaaSnap's zero regions (§4.5).
+MINOR       File page already resident in the host page cache
+            (~3.7 us), or a sparse-file hole (zeros, no I/O).
+MAJOR       File page not resident: blocks on disk I/O, with
+            readahead. If another thread (FaaSnap loader, readahead,
+            another VM) already has an in-flight read for the page
+            the fault waits on it instead of issuing a duplicate
+            request — cheaper, and charged no block I/O of its own
+            (§6.5).
+UFFD        Delegated to a userfaultfd handler (REAP).
+COW         First write to a clean file-backed page: the private
+            copy-on-write break (guest memory is MAP_PRIVATE).
+==========  ========================================================
+
+Each handled fault appends a :class:`FaultRecord`, from which the
+paper's histograms (Fig. 2), fault counts and times (Fig. 9), and
+waiting-time breakdowns (Table 3) are computed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Generator, List, Optional
+
+from repro.host.page_cache import PageCache
+from repro.host.params import HostParams
+from repro.host.readahead import ReadaheadPolicy
+from repro.host.uffd import UserfaultfdManager
+from repro.host.vma import ANONYMOUS, AddressSpace, FileBacking
+from repro.sim import Environment, Event, SimulationError
+
+
+class FaultKind(enum.Enum):
+    """Classification of a guest memory access at the host."""
+
+    NONE = "none"
+    PRESENT = "present"
+    ANON = "anon"
+    MINOR = "minor"
+    MAJOR = "major"
+    UFFD = "uffd"
+    COW = "cow"
+
+
+#: Kinds that represent an actual page fault (NONE is a plain access).
+FAULTING_KINDS = frozenset(
+    {
+        FaultKind.PRESENT,
+        FaultKind.ANON,
+        FaultKind.MINOR,
+        FaultKind.MAJOR,
+        FaultKind.UFFD,
+        FaultKind.COW,
+    }
+)
+
+
+@dataclass
+class FaultRecord:
+    """One handled fault on the simulated timeline."""
+
+    kind: FaultKind
+    page: int
+    start_us: float
+    duration_us: float
+    #: Device read requests this fault issued itself.
+    block_requests: int = 0
+    bytes_read: int = 0
+
+
+@dataclass
+class FaultStats:
+    """Aggregated view over a list of fault records."""
+
+    records: List[FaultRecord] = field(default_factory=list)
+
+    def add(self, record: FaultRecord) -> None:
+        self.records.append(record)
+
+    def count(self, kind: Optional[FaultKind] = None) -> int:
+        if kind is None:
+            return len(self.records)
+        return sum(1 for r in self.records if r.kind is kind)
+
+    def total_time_us(self, kind: Optional[FaultKind] = None) -> float:
+        if kind is None:
+            return sum(r.duration_us for r in self.records)
+        return sum(r.duration_us for r in self.records if r.kind is kind)
+
+    def total_block_requests(self) -> int:
+        return sum(r.block_requests for r in self.records)
+
+    def total_bytes_read(self) -> int:
+        return sum(r.bytes_read for r in self.records)
+
+    def durations(self, kind: Optional[FaultKind] = None) -> List[float]:
+        if kind is None:
+            return [r.duration_us for r in self.records]
+        return [r.duration_us for r in self.records if r.kind is kind]
+
+    def merged_with(self, other: "FaultStats") -> "FaultStats":
+        merged = FaultStats()
+        merged.records = self.records + other.records
+        return merged
+
+
+class FaultHandler:
+    """Per-VM host fault handler bound to a shared page cache."""
+
+    def __init__(
+        self,
+        env: Environment,
+        params: HostParams,
+        cache: PageCache,
+        space: AddressSpace,
+        uffd: Optional[UserfaultfdManager] = None,
+        label: str = "vm",
+    ):
+        self.env = env
+        self.params = params
+        self.cache = cache
+        self.space = space
+        self.uffd = uffd
+        self.label = label
+        self.readahead = ReadaheadPolicy(params)
+        self.stats = FaultStats()
+        #: Device whose I/O counters are attributed to userfaultfd
+        #: faults (set when a uffd handler reads from disk on the
+        #: VM's behalf, e.g. REAP's out-of-working-set path).
+        self.io_device = None
+
+    def _cost(self, base_us: float, page: int, salt: int) -> float:
+        """Service cost with deterministic per-(page, kind) jitter.
+
+        Real fault costs vary with cache and TLB state; scaling by a
+        hash of the page keeps runs reproducible while spreading the
+        handling-time distribution (Figure 2) realistically.
+        """
+        jitter = self.params.fault_jitter_fraction
+        if jitter <= 0:
+            return base_us
+        bucket = ((page * 2_654_435_761 + salt * 40_503) >> 7) % 1024
+        factor = 1.0 + jitter * (2.0 * bucket / 1024.0 - 1.0)
+        return base_us * factor
+
+    def access(
+        self, page: int, write: bool = False, value: Optional[int] = None
+    ) -> Generator[Event, Any, FaultRecord]:
+        """Process helper: one guest access to ``page``.
+
+        ``write=True`` with ``value`` models the guest storing new
+        content. Returns the :class:`FaultRecord` (kind ``NONE`` for a
+        faultless access). Usage::
+
+            record = yield from handler.access(page, write=True, value=v)
+        """
+        start = self.env.now
+        space = self.space
+
+        if page in space.ept:
+            record = self._mapped_access(page, write, value, start)
+            if record.duration_us > 0:
+                yield self.env.timeout(record.duration_us)
+                record.duration_us = self.env.now - start
+            if record.kind is not FaultKind.NONE:
+                self.stats.add(record)
+            return record
+
+        if space.is_installed(page):
+            # Host PTE exists (UFFDIO_COPY or a previous mapping):
+            # only the KVM EPT fixup remains.
+            yield self.env.timeout(self._cost(self.params.present_fault_us, page, 1))
+            space.ept.add(page)
+            record = FaultRecord(
+                FaultKind.PRESENT, page, start, self.env.now - start
+            )
+            self._apply_write(page, write, value)
+            self.stats.add(record)
+            return record
+
+        registration = self.uffd.lookup(page) if self.uffd else None
+        if registration is not None:
+            before_requests, before_bytes = self._device_counters()
+            content = yield from self.uffd.handle_fault(registration, page)
+            after_requests, after_bytes = self._device_counters()
+            space.install_pte(page, content)
+            space.ept.add(page)
+            self._apply_write(page, write, value)
+            record = FaultRecord(
+                FaultKind.UFFD,
+                page,
+                start,
+                self.env.now - start,
+                after_requests - before_requests,
+                after_bytes - before_bytes,
+            )
+            self.stats.add(record)
+            return record
+
+        vma = space.resolve(page)
+        if vma is None:
+            raise SimulationError(
+                f"{self.label}: access to unmapped page {page} (SIGSEGV)"
+            )
+
+        if vma.backing is ANONYMOUS:
+            yield self.env.timeout(self._cost(self.params.anon_fault_us, page, 2))
+            space.install_pte(page, space.anon_contents.get(page, 0))
+            space.ept.add(page)
+            self._apply_write(page, write, value)
+            record = FaultRecord(FaultKind.ANON, page, start, self.env.now - start)
+            self.stats.add(record)
+            return record
+
+        assert isinstance(vma.backing, FileBacking)
+        file = vma.backing.file
+        file_page = vma.file_page(page)
+
+        if file.is_hole(file_page) or self.cache.contains(file.name, file_page):
+            # Resident page or sparse hole: minor fault, no I/O.
+            yield self.env.timeout(self._cost(self.params.minor_fault_us, page, 3))
+            kind = FaultKind.MINOR
+            requests = bytes_read = 0
+        else:
+            pending = self.cache.pending_event(file.name, file_page)
+            if pending is not None:
+                # Another thread is already reading this page: wait on
+                # its completion, then install — a major fault with no
+                # block I/O of its own.
+                yield pending
+                yield self.env.timeout(
+                    self.params.minor_fault_us
+                    + self.params.vcpu_block_overhead_us
+                )
+                kind = FaultKind.MAJOR
+                requests = bytes_read = 0
+            else:
+                device = file.device
+                before_requests = device.stats.requests
+                before_bytes = device.stats.bytes_read
+                yield self.env.timeout(self.params.major_fault_overhead_us)
+                yield from self.readahead.fault_read(file, self.cache, file_page)
+                # The vCPU blocked on the read; waking it costs extra
+                # (kvm_vcpu_block, Table 3).
+                yield self.env.timeout(self.params.vcpu_block_overhead_us)
+                kind = FaultKind.MAJOR
+                requests = device.stats.requests - before_requests
+                bytes_read = device.stats.bytes_read - before_bytes
+
+        if write:
+            # MAP_PRIVATE write fault: the private copy happens inside
+            # the same fault.
+            yield self.env.timeout(self.params.cow_copy_us)
+        space.install_pte(page, file.page_value(file_page))
+        space.ept.add(page)
+        self._apply_write(page, write, value)
+        record = FaultRecord(
+            kind, page, start, self.env.now - start, requests, bytes_read
+        )
+        self.stats.add(record)
+        return record
+
+    def _mapped_access(
+        self, page: int, write: bool, value: Optional[int], start: float
+    ) -> FaultRecord:
+        """Access to a page the guest already has mapped in EPT."""
+        space = self.space
+        if not write:
+            return FaultRecord(FaultKind.NONE, page, start, 0.0)
+        if page in space.anon_contents:
+            space.write_anon(page, self._required_value(value))
+            return FaultRecord(FaultKind.NONE, page, start, 0.0)
+        vma = space.resolve(page)
+        if vma is not None and isinstance(vma.backing, FileBacking):
+            # First store to a clean MAP_PRIVATE file page: CoW break.
+            space.write_anon(page, self._required_value(value))
+            return FaultRecord(
+                FaultKind.COW,
+                page,
+                start,
+                self.params.anon_fault_us + self.params.cow_copy_us,
+            )
+        space.write_anon(page, self._required_value(value))
+        return FaultRecord(FaultKind.NONE, page, start, 0.0)
+
+    def _device_counters(self):
+        if self.io_device is None:
+            return (0, 0)
+        return (self.io_device.stats.requests, self.io_device.stats.bytes_read)
+
+    def _apply_write(self, page: int, write: bool, value: Optional[int]) -> None:
+        if write:
+            self.space.write_anon(page, self._required_value(value))
+
+    @staticmethod
+    def _required_value(value: Optional[int]) -> int:
+        if value is None:
+            raise SimulationError("write access requires a value")
+        return value
+
+    def observed_value(self, page: int) -> int:
+        """Content the guest observes at ``page`` right now (for
+        memory-integrity assertions in tests)."""
+        return self.space.backing_value(page)

@@ -1,0 +1,64 @@
+"""mincore(2): which pages of a mapping are resident.
+
+FaaSnap's host page recording (§4.4) calls ``mincore`` repeatedly on
+the mapped memory file to discover pages brought in since the last
+call — including pages the kernel's readahead cached that the guest
+never faulted on. That relaxation is what makes FaaSnap's working set
+tolerant to input changes.
+
+``mincore`` reads the present bits; it does not fault anything in and
+does not perturb LRU state, so these helpers use the cache's
+non-touching ``peek``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Set
+
+from repro.host.page_cache import PageCache
+from repro.host.params import HostParams
+from repro.sim import Environment, Event
+
+
+def mincore_file(
+    env: Environment,
+    params: HostParams,
+    cache: PageCache,
+    file_name: str,
+    num_pages: int,
+) -> Generator[Event, Any, List[bool]]:
+    """Process helper: the present-bit vector of a file's pages.
+
+    Charges the syscall's scan cost (base + per page) on the simulated
+    clock and returns ``vec[i] is True`` iff file page ``i`` is in the
+    host page cache.
+    """
+    yield env.timeout(
+        params.mincore_base_us + params.mincore_per_page_us * num_pages
+    )
+    return [cache.peek(file_name, page) for page in range(num_pages)]
+
+
+def mincore_new_pages(
+    env: Environment,
+    params: HostParams,
+    cache: PageCache,
+    file_name: str,
+    num_pages: int,
+    already_seen: Set[int],
+) -> Generator[Event, Any, List[int]]:
+    """Process helper: pages resident now but not in ``already_seen``.
+
+    This is the recorder's incremental scan: each call returns the
+    pages that became resident since the previous call, in ascending
+    page order. The caller owns ``already_seen`` and this function
+    updates it in place.
+    """
+    vector = yield from mincore_file(env, params, cache, file_name, num_pages)
+    fresh = [
+        page
+        for page, present in enumerate(vector)
+        if present and page not in already_seen
+    ]
+    already_seen.update(fresh)
+    return fresh

@@ -1,0 +1,152 @@
+"""The host OS page cache.
+
+Keyed by ``(file name, page index)``. Two states matter to the
+simulation:
+
+* **present** — the page's contents are resident; a file-backed fault
+  on it is a *minor* fault.
+* **pending** — some process (the FaaSnap loader, a readahead window,
+  another VM's fault) has an in-flight disk read for the page. A
+  fault arriving meanwhile blocks on the existing read instead of
+  issuing a duplicate one — this is how bursty same-snapshot VMs
+  "load the cache for each other" (paper §6.6) and why FaaSnap's
+  concurrent-paging major faults are cheaper than Firecracker's
+  (§6.5).
+
+An optional capacity bound evicts in LRU order; the paper's host has
+192 GB of memory so the experiments never evict, but the policy is
+implemented and tested for completeness.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.sim import Environment, Event, SimulationError
+
+PageKey = Tuple[str, int]
+
+
+class PageCache:
+    """Host page cache with pending-read tracking and optional LRU."""
+
+    def __init__(self, env: Environment, capacity_pages: Optional[int] = None):
+        if capacity_pages is not None and capacity_pages < 1:
+            raise SimulationError("page cache capacity must be >= 1 or None")
+        self.env = env
+        self.capacity_pages = capacity_pages
+        self._present: "OrderedDict[PageKey, None]" = OrderedDict()
+        self._pending: Dict[PageKey, Event] = {}
+        self.insertions = 0
+        self.evictions = 0
+        #: Append-only per-file log of page insertions, in insertion
+        #: order. Lets the mincore-based recorder diff "new since last
+        #: scan" in O(new) instead of rescanning the whole mapping;
+        #: the recorder still charges the full mincore scan *cost* on
+        #: the simulated clock.
+        self._insertion_log: Dict[str, List[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._present)
+
+    def contains(self, file_name: str, page_index: int) -> bool:
+        """True if the page is resident (touches LRU recency)."""
+        key = (file_name, page_index)
+        if key in self._present:
+            self._present.move_to_end(key)
+            return True
+        return False
+
+    def peek(self, file_name: str, page_index: int) -> bool:
+        """Residency check without touching LRU recency (mincore)."""
+        return (file_name, page_index) in self._present
+
+    def insert(self, file_name: str, page_index: int) -> None:
+        """Mark a page resident; completes any pending read on it."""
+        key = (file_name, page_index)
+        pending = self._pending.pop(key, None)
+        if pending is not None and not pending.triggered:
+            pending.succeed()
+        if key in self._present:
+            self._present.move_to_end(key)
+            return
+        self._present[key] = None
+        self.insertions += 1
+        self._insertion_log.setdefault(file_name, []).append(page_index)
+        if self.capacity_pages is not None:
+            while len(self._present) > self.capacity_pages:
+                self._present.popitem(last=False)
+                self.evictions += 1
+
+    def insert_range(self, file_name: str, start_page: int, npages: int) -> None:
+        """Mark ``npages`` consecutive pages resident."""
+        for i in range(start_page, start_page + npages):
+            self.insert(file_name, i)
+
+    def begin_pending(self, file_name: str, page_index: int) -> Event:
+        """Announce an in-flight read for the page.
+
+        Returns the completion event; :meth:`insert` fires it. Calling
+        this for a page that already has a pending read returns the
+        existing event.
+        """
+        key = (file_name, page_index)
+        if key in self._present:
+            raise SimulationError(f"begin_pending on resident page {key}")
+        existing = self._pending.get(key)
+        if existing is not None:
+            return existing
+        event = Event(self.env)
+        self._pending[key] = event
+        return event
+
+    def pending_event(self, file_name: str, page_index: int) -> Optional[Event]:
+        """The in-flight read event for the page, if any."""
+        return self._pending.get((file_name, page_index))
+
+    def abandon_pending(self, file_name: str, page_index: int) -> None:
+        """Cancel a pending read that failed (fires the event so
+        waiters re-check residency and retry)."""
+        event = self._pending.pop((file_name, page_index), None)
+        if event is not None and not event.triggered:
+            event.succeed()
+
+    def drop_file(self, file_name: str) -> int:
+        """Evict every resident page of ``file_name`` (drop_caches for
+        one file, as the paper does between test runs, §6.1).
+        Pending reads are unaffected."""
+        victims = [key for key in self._present if key[0] == file_name]
+        for key in victims:
+            del self._present[key]
+        return len(victims)
+
+    def drop_all(self) -> int:
+        """Evict everything (echo 3 > /proc/sys/vm/drop_caches)."""
+        count = len(self._present)
+        self._present.clear()
+        return count
+
+    def pages_for_file(self, file_name: str) -> List[int]:
+        """Sorted resident page indices of ``file_name``."""
+        return sorted(p for f, p in self._present if f == file_name)
+
+    def count_for_file(self, file_name: str) -> int:
+        return sum(1 for f, _ in self._present if f == file_name)
+
+    def resident_set(self) -> Set[PageKey]:
+        """Snapshot of all resident pages (for assertions)."""
+        return set(self._present)
+
+    def insertion_log(self, file_name: str) -> List[int]:
+        """Every page of ``file_name`` ever inserted, in insertion
+        order (may repeat after drops). Consumers should slice by
+        their own cursor."""
+        return self._insertion_log.get(file_name, [])
+
+    def warm_file(self, file_name: str, pages: Iterable[int]) -> None:
+        """Instantly mark pages resident without I/O — used only to
+        construct the paper's impractical-but-useful *Cached* baseline
+        (§3.1) and warm starts."""
+        for page in pages:
+            self.insert(file_name, page)

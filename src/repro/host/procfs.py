@@ -1,0 +1,35 @@
+"""procfs: the RSS interface the FaaSnap recorder polls.
+
+Paper §5: "The daemon polls procfs for the resident set size (RSS) of
+the guest. Once the RSS has more than 1024 new pages, it calls
+mincore to record them." RSS here is the VMM process's resident set —
+the number of installed host PTEs for the guest region.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.host.params import HostParams
+from repro.host.vma import AddressSpace
+from repro.sim import Environment, Event
+
+
+class Procfs:
+    """Read-only process statistics for one VMM process."""
+
+    def __init__(self, env: Environment, params: HostParams, space: AddressSpace):
+        self.env = env
+        self.params = params
+        self.space = space
+        self.polls = 0
+
+    def rss_pages(self) -> Generator[Event, Any, int]:
+        """Process helper: read the guest region's RSS in pages.
+
+        Charges the procfs read cost and returns the number of
+        resident pages.
+        """
+        yield self.env.timeout(self.params.procfs_poll_us)
+        self.polls += 1
+        return self.space.rss_pages()

@@ -1,0 +1,98 @@
+"""userfaultfd: user-level page-fault delegation.
+
+REAP (§2.5, §3.3) registers the guest memory region with userfaultfd
+so a user-space handler resolves faults: the kernel parks the
+faulting vCPU, wakes the handler thread, the handler produces the
+page (from its working-set buffer or by reading the memory file) and
+installs it with ``UFFDIO_COPY``, then wakes the vCPU. Each hop costs
+microseconds, and the vCPU cannot resume instantly — KVM blocks
+waiting for the guest CPU to become runnable again (§6.4's
+``kvm_vcpu_block`` time) — which is exactly why REAP underperforms
+when many faults fall outside its working set.
+
+The handler here is a caller-provided *generator function* so REAP's
+logic lives in :mod:`repro.core.reap`, not in the substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.host.params import HostParams
+from repro.sim import Environment, Event, SimulationError
+
+#: A handler receives the faulting page and yields simulation events
+#: while producing it; it returns the content token to install.
+UffdHandler = Callable[[int], Generator[Event, Any, int]]
+
+
+@dataclass
+class UffdRegistration:
+    """A registered address range and its user-space handler."""
+
+    start: int
+    npages: int
+    handler: UffdHandler
+
+    @property
+    def end(self) -> int:
+        return self.start + self.npages
+
+    def covers(self, page: int) -> bool:
+        return self.start <= page < self.end
+
+
+class UserfaultfdManager:
+    """Tracks userfaultfd registrations for one address space."""
+
+    def __init__(self, env: Environment, params: HostParams):
+        self.env = env
+        self.params = params
+        self._registrations: List[UffdRegistration] = []
+        #: Faults delegated to user space (paper counts these).
+        self.delegated_faults = 0
+
+    def register(
+        self, start: int, npages: int, handler: UffdHandler
+    ) -> UffdRegistration:
+        """Register ``[start, start+npages)`` with ``handler``."""
+        if npages < 1:
+            raise SimulationError("empty uffd registration")
+        for existing in self._registrations:
+            if start < existing.end and existing.start < start + npages:
+                raise SimulationError("overlapping uffd registrations")
+        registration = UffdRegistration(start, npages, handler)
+        self._registrations.append(registration)
+        return registration
+
+    def unregister(self, registration: UffdRegistration) -> None:
+        self._registrations.remove(registration)
+
+    def lookup(self, page: int) -> Optional[UffdRegistration]:
+        """The registration covering ``page``, if any."""
+        for registration in self._registrations:
+            if registration.covers(page):
+                return registration
+        return None
+
+    def handle_fault(
+        self, registration: UffdRegistration, page: int
+    ) -> Generator[Event, Any, int]:
+        """Process helper: run the full user-level fault protocol.
+
+        Returns the installed content token. Timing: handler wake-up,
+        the handler's own work (which may include disk reads), the
+        UFFDIO_COPY install, and the vCPU resume stall.
+        """
+        self.delegated_faults += 1
+        yield self.env.timeout(self.params.uffd_wakeup_us)
+        value = yield from registration.handler(page)
+        yield self.env.timeout(self.params.uffd_copy_us)
+        # The parked vCPU cannot resume instantly: the userfaultfd
+        # round trip context-switches twice and KVM then waits for the
+        # guest CPU to be runnable (paper §3.3, §6.4).
+        yield self.env.timeout(
+            self.params.uffd_resume_stall_us + self.params.vcpu_block_overhead_us
+        )
+        return value

@@ -1,0 +1,27 @@
+"""Measurement helpers: statistics, histograms, and table rendering.
+
+Stands in for the paper's bpftrace/perf tooling (§3.1, §6.4): the
+simulation already records every fault, so this package only
+aggregates — log-scale histograms for Figure 2, mean/std summaries
+for the execution-time figures, and fixed-width text tables the
+benchmark harness prints.
+"""
+
+from repro.metrics.stats import (
+    Histogram,
+    fault_time_histogram,
+    geometric_mean,
+    mean,
+    stddev,
+)
+from repro.metrics.report import render_bars, render_table
+
+__all__ = [
+    "Histogram",
+    "fault_time_histogram",
+    "geometric_mean",
+    "mean",
+    "render_bars",
+    "render_table",
+    "stddev",
+]

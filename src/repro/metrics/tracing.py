@@ -1,0 +1,148 @@
+"""Span tracing for invocations.
+
+The paper's artifact evaluates runs by inspecting per-invocation
+traces in Zipkin (appendix A.4: "the execution traces of invocations
+are accessible on the Zipkin web page"). This module provides the
+same visibility for simulated invocations: a :class:`Tracer` records
+nested spans on the simulated timeline, and :func:`render_trace`
+prints them as an indented tree with durations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class Span:
+    """One timed operation, possibly with children."""
+
+    name: str
+    start_us: float
+    end_us: Optional[float] = None
+    children: List["Span"] = field(default_factory=list)
+    annotations: List[str] = field(default_factory=list)
+
+    @property
+    def duration_us(self) -> float:
+        if self.end_us is None:
+            raise ValueError(f"span {self.name!r} is still open")
+        return self.end_us - self.start_us
+
+    def annotate(self, note: str) -> None:
+        self.annotations.append(note)
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (Zipkin-flavoured fields)."""
+        return {
+            "name": self.name,
+            "timestamp_us": self.start_us,
+            "duration_us": (
+                self.end_us - self.start_us if self.end_us is not None else None
+            ),
+            "annotations": list(self.annotations),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def find(self, name: str) -> Optional["Span"]:
+        """Depth-first lookup of a descendant span by name."""
+        for child in self.children:
+            if child.name == name:
+                return child
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+
+class Tracer:
+    """Records a tree of spans against a simulation clock."""
+
+    def __init__(self, env):
+        self.env = env
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    def start(self, name: str) -> Span:
+        """Open a span; it nests under the innermost open span."""
+        span = Span(name=name, start_us=self.env.now)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        return span
+
+    def end(self, span: Span) -> Span:
+        """Close ``span`` (and any dangling children still open)."""
+        if span not in self._stack:
+            raise ValueError(f"span {span.name!r} is not open")
+        while self._stack:
+            closing = self._stack.pop()
+            closing.end_us = self.env.now
+            if closing is span:
+                break
+        return span
+
+    def record(
+        self,
+        name: str,
+        start_us: float,
+        end_us: float,
+        parent: Optional[Span] = None,
+    ) -> Span:
+        """Attach a completed span post-hoc (e.g. a concurrent loader
+        whose timing was captured by its own stats)."""
+        span = Span(name=name, start_us=start_us, end_us=end_us)
+        if parent is not None:
+            parent.children.append(span)
+        elif self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        return span
+
+    def span(self, name: str):
+        """Context manager form::
+
+            with tracer.span("restore"):
+                ...
+        """
+        tracer = self
+
+        class _SpanContext:
+            def __enter__(self):
+                self.current = tracer.start(name)
+                return self.current
+
+            def __exit__(self, exc_type, exc, tb):
+                tracer.end(self.current)
+                return False
+
+        return _SpanContext()
+
+
+def export_json(tracer: Tracer) -> str:
+    """All recorded root spans as a JSON document."""
+    import json
+
+    return json.dumps(
+        [root.to_dict() for root in tracer.roots], indent=2, sort_keys=True
+    )
+
+
+def render_trace(span: Span, indent: int = 0) -> str:
+    """Indented text rendering of a span tree (a textual Zipkin)."""
+    pad = "  " * indent
+    duration = (
+        f"{span.duration_us / 1000:.2f} ms"
+        if span.end_us is not None
+        else "open"
+    )
+    lines = [f"{pad}{span.name}: {duration}"]
+    for note in span.annotations:
+        lines.append(f"{pad}  - {note}")
+    for child in span.children:
+        lines.append(render_trace(child, indent + 1))
+    return "\n".join(lines)

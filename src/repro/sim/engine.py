@@ -1,0 +1,386 @@
+"""Core event loop: environment, events, timeouts, and processes.
+
+Time is a ``float`` in *microseconds*. Microseconds are the natural
+unit for this reproduction because the paper reports page-fault
+service times of 2.5-512 us and end-to-end invocation times of
+milliseconds to seconds, all of which stay well within float
+precision.
+
+Determinism: events scheduled for the same instant fire in schedule
+order (a monotonically increasing sequence number breaks ties), so a
+simulation run is a pure function of its inputs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (e.g. yielding a
+    non-event, or running an environment with no runnable events)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the value given to ``interrupt``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *untriggered*; calling :meth:`succeed` or
+    :meth:`fail` schedules it to fire, at which point every registered
+    callback runs and waiting processes resume. Events are also
+    yielded by processes, which suspends the process until the event
+    fires.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._ok = True
+        self._triggered = False
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (valid only once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value the event fired with (valid only once triggered)."""
+        return self._value
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, delay)
+        return self
+
+    def fail(self, exc: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event with an exception, which propagates into
+        any process waiting on it."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exc
+        self.env._schedule(self, 0.0 if delay is None else delay)
+        return self
+
+    def _run_callbacks(self) -> int:
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+        return len(callbacks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self._triggered else "pending"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` microseconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        env._schedule(self, delay)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it returns.
+
+    The wrapped generator yields :class:`Event` instances. When a
+    yielded event fires, the process resumes with the event's value
+    (or the event's exception is thrown into it). The process event
+    itself succeeds with the generator's return value, or fails with
+    any uncaught exception.
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(f"process target is not a generator: {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Bootstrap: resume once at the current instant.
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current
+        simulated instant.
+
+        Interrupting a finished process is an error; interrupting a
+        process twice before it handles the first interrupt is too.
+        """
+        if self._triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name}")
+        waiting = self._waiting_on
+        if waiting is not None and waiting.callbacks is not None:
+            try:
+                waiting.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        poke = Event(self.env)
+        poke.callbacks.append(self._resume)
+        poke.fail(Interrupt(cause))
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        try:
+            if event.ok:
+                target = self._generator.send(event.value)
+            else:
+                target = self._generator.throw(event.value)
+        except StopIteration as stop:
+            self._triggered = True
+            self._ok = True
+            self._value = stop.value
+            self.env._schedule(self, 0.0)
+            return
+        except Interrupt as exc:
+            self._triggered = True
+            self._ok = False
+            self._value = exc
+            self.env._schedule(self, 0.0)
+            return
+        except Exception as exc:
+            self._triggered = True
+            self._ok = False
+            self._value = exc
+            self.env._schedule(self, 0.0)
+            return
+
+        if not isinstance(target, Event):
+            exc = SimulationError(
+                f"process {self.name!r} yielded non-event {target!r}"
+            )
+            self._generator.close()
+            self._triggered = True
+            self._ok = False
+            self._value = exc
+            self.env._schedule(self, 0.0)
+            return
+        if target.env is not self.env:
+            raise SimulationError("cannot wait on an event from another environment")
+        self._waiting_on = target
+        if target.processed:
+            # Already fired: resume at the current instant.
+            poke = Event(self.env)
+            poke.callbacks.append(self._resume)
+            if target.ok:
+                poke.succeed(target.value)
+            else:
+                poke.fail(target.value)
+            self._waiting_on = poke
+        else:
+            target.callbacks.append(self._resume)
+
+
+class AllOf(Event):
+    """Fires when all child events have fired successfully.
+
+    Succeeds with the list of child values (in the order given). If
+    any child fails, this event fails with that child's exception.
+    """
+
+    __slots__ = ("_children", "_pending")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._children = list(events)
+        failed = next(
+            (c for c in self._children if c.triggered and not c.ok), None
+        )
+        if failed is not None:
+            self.fail(failed.value)
+            return
+        pending = [c for c in self._children if not c.triggered]
+        self._pending = len(pending)
+        if self._pending == 0:
+            self.succeed([c.value for c in self._children])
+            return
+        for child in pending:
+            child.callbacks.append(self._on_child)
+
+    def _on_child(self, child: Event) -> None:
+        if self._triggered:
+            return
+        if not child.ok:
+            self.fail(child.value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([c.value for c in self._children])
+
+
+class AnyOf(Event):
+    """Fires when the first child event fires; value is ``(index, value)``."""
+
+    __slots__ = ("_children",)
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._children = list(events)
+        if not self._children:
+            raise SimulationError("AnyOf requires at least one event")
+        for index, child in enumerate(self._children):
+            if child.processed:
+                self._on_child(index, child)
+                break
+            child.callbacks.append(
+                lambda evt, index=index: self._on_child(index, evt)
+            )
+
+    def _on_child(self, index: int, child: Event) -> None:
+        if self._triggered:
+            return
+        if child.ok:
+            self.succeed((index, child.value))
+        else:
+            self.fail(child.value)
+
+
+class Environment:
+    """Owns the simulated clock and the pending-event heap."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._sequence = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in microseconds."""
+        return self._now
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        self._sequence += 1
+        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
+
+    def event(self) -> Event:
+        """Create an untriggered event bound to this environment."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay`` microseconds."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self,
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> Process:
+        """Start ``generator`` as a concurrent process."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when every event in ``events`` has fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when the first event in ``events`` fires."""
+        return AnyOf(self, events)
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``float('inf')``."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _, event = heapq.heappop(self._queue)
+        self._now = when
+        subscribers = event._run_callbacks()
+        if not event.ok and subscribers == 0:
+            # An unhandled failure with nobody waiting: surface it
+            # rather than silently dropping the error, unless it is a
+            # process that was deliberately interrupted.
+            if isinstance(event.value, Interrupt):
+                return
+            if isinstance(event, Process):
+                raise event.value
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Run until ``until`` fires (if an event), until the clock
+        passes ``until`` (if a number), or until no events remain.
+
+        Returns the value of the ``until`` event when one is given.
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            sentinel = until
+            while not sentinel.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "event queue drained before the awaited event fired"
+                    )
+                self.step()
+            if not sentinel.ok:
+                raise sentinel.value
+            return sentinel.value
+        deadline = float(until)
+        if deadline < self._now:
+            raise SimulationError("cannot run backwards in time")
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        self._now = deadline
+        return None

@@ -1,0 +1,120 @@
+"""Shared-resource primitives built on the event kernel.
+
+:class:`Resource` is a counted FIFO resource (disk queue slots, CPU
+slots, the FaaSnap loading lock). :class:`Store` is an unbounded FIFO
+of items with blocking ``get`` (used for message queues between
+daemon components).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, List
+
+from repro.sim.engine import Environment, Event, SimulationError
+
+
+class ResourceRequest(Event):
+    """Event granted when the resource has a free slot.
+
+    Use as a context manager inside a process::
+
+        req = resource.request()
+        yield req
+        try:
+            ...critical section...
+        finally:
+            resource.release(req)
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+
+
+class Resource:
+    """A counted resource with FIFO granting order."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiting: Deque[ResourceRequest] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently granted slots."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self) -> ResourceRequest:
+        """Ask for a slot; the returned event fires when granted."""
+        req = ResourceRequest(self)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            req.succeed()
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, request: ResourceRequest) -> None:
+        """Return a granted slot (or cancel a waiting request)."""
+        if request.resource is not self:
+            raise SimulationError("release() of a request from another resource")
+        if not request.triggered:
+            self._waiting.remove(request)
+            return
+        if self._in_use <= 0:
+            raise SimulationError("release() without a matching grant")
+        self._in_use -= 1
+        while self._waiting and self._in_use < self.capacity:
+            nxt = self._waiting.popleft()
+            self._in_use += 1
+            nxt.succeed()
+
+    def acquire(self) -> Generator[Event, Any, ResourceRequest]:
+        """Process helper: ``req = yield from resource.acquire()``."""
+        req = self.request()
+        yield req
+        return req
+
+
+class Store:
+    """Unbounded FIFO of items with blocking ``get``."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Add ``item``; wakes the oldest waiting getter, if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Event that fires with the next item (immediately if one is
+        queued)."""
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def items(self) -> List[Any]:
+        """Snapshot of queued items (for inspection in tests)."""
+        return list(self._items)

@@ -1,0 +1,42 @@
+"""Virtual-machine substrate: VMM, guest memory, vCPU, snapshots.
+
+Models the Firecracker-style microVM the paper builds on (§2.4):
+
+* :mod:`~repro.vm.layout` — the guest physical memory map (2 GB, with
+  boot / runtime / data / heap regions) that workload traces and
+  snapshot synthesis share.
+* :mod:`~repro.vm.snapshot` — snapshot artefacts: the vmstate file and
+  the full guest-memory file (saved sparse, §7.2), plus helpers to
+  capture a running VM's memory contents.
+* :mod:`~repro.vm.vcpu` — guest accesses and the vCPU process that
+  replays an access trace through the host fault handler, optionally
+  contending for host CPU slots (bursty workloads, §6.6).
+* :mod:`~repro.vm.vmm` — the microVM: restore-time setup costs, the
+  default whole-file guest memory mapping, snapshot capture.
+"""
+
+from repro.vm.layout import GuestLayout
+from repro.vm.snapshot import Snapshot, capture_memory_contents, create_snapshot
+from repro.vm.vcpu import GuestAccess, VCpu, VCpuResult
+from repro.vm.vmm import (
+    MapDirective,
+    MappingPlan,
+    MicroVM,
+    VmmParams,
+    full_file_plan,
+)
+
+__all__ = [
+    "GuestAccess",
+    "GuestLayout",
+    "MapDirective",
+    "MappingPlan",
+    "MicroVM",
+    "Snapshot",
+    "VCpu",
+    "VCpuResult",
+    "VmmParams",
+    "capture_memory_contents",
+    "create_snapshot",
+    "full_file_plan",
+]

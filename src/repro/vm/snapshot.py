@@ -1,0 +1,103 @@
+"""Snapshot artefacts.
+
+A Firecracker snapshot (paper §2.4) is a small *vmstate* file (vCPU
+registers, device state) plus a *memory file* that is a full copy of
+guest physical memory. Memory files are saved sparse — zero pages
+become holes — which both shrinks storage (§7.2) and lets the
+simulation distinguish zero from non-zero pages exactly the way
+FaaSnap's zero-region scan does (§4.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.host.vma import AddressSpace, FileBacking
+from repro.storage.filestore import FileStore, StoredFile
+
+#: Size of the vmstate file: device + vCPU state is tens of KB.
+VMSTATE_PAGES = 16
+
+
+@dataclass
+class Snapshot:
+    """An on-disk snapshot of a guest VM."""
+
+    name: str
+    memory_file: StoredFile
+    vmstate_file: StoredFile
+
+    @property
+    def num_pages(self) -> int:
+        return self.memory_file.num_pages
+
+    def nonzero_pages(self) -> List[int]:
+        """Sorted guest pages with non-zero contents — the scan
+        FaaSnap performs after the record phase (§4.5)."""
+        return self.memory_file.nonzero_pages()
+
+    def page_value(self, page: int) -> int:
+        return self.memory_file.page_value(page)
+
+
+def create_snapshot(
+    store: FileStore,
+    name: str,
+    num_pages: int,
+    contents: Dict[int, int],
+    sparse: bool = True,
+) -> Snapshot:
+    """Write a snapshot named ``name`` into ``store``.
+
+    ``contents`` maps guest page -> content token; zero / missing
+    pages become holes when ``sparse``. Snapshot creation happens in
+    the record phase, off the measured critical path, so no simulated
+    time is charged.
+    """
+    memory = store.create(
+        f"{name}.mem",
+        num_pages,
+        pages={p: v for p, v in contents.items() if v != 0},
+        sparse=sparse,
+    )
+    vmstate = store.create(f"{name}.vmstate", VMSTATE_PAGES)
+    return Snapshot(name=name, memory_file=memory, vmstate_file=vmstate)
+
+
+def capture_memory_contents(
+    space: AddressSpace, base: Optional[Snapshot] = None
+) -> Dict[int, int]:
+    """Guest memory contents as observed through ``space``.
+
+    Pages privately dirtied by the guest take their written values;
+    other pages fall back to whatever backs them (the base snapshot's
+    memory file, or zero for anonymous regions). This is what gets
+    written to a *new* memory file when a snapshot is taken after an
+    invocation (paper Figure 5: "create new snapshot").
+
+    Iterates only pages that can be non-zero — dirtied pages plus the
+    base snapshot's non-zero pages — so capturing a 2 GB guest stays
+    cheap.
+    """
+    contents: Dict[int, int] = {}
+    candidates = set(space.anon_contents)
+    if base is not None:
+        candidates.update(base.memory_file.pages)
+    else:
+        for vma in space.vmas():
+            if isinstance(vma.backing, FileBacking):
+                file_pages = vma.backing.file.pages
+                first = vma.backing.file_start_page
+                last = first + vma.npages
+                for file_page in file_pages:
+                    if first <= file_page < last:
+                        candidates.add(vma.start + (file_page - first))
+    for page in candidates:
+        vma = space.resolve(page)
+        if vma is None:
+            continue
+        value = space.backing_value(page)
+        if value != 0:
+            contents[page] = value
+    return contents

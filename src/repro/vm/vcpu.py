@@ -1,0 +1,94 @@
+"""The vCPU: replays a guest access trace through the fault handler.
+
+A trace is a list of :class:`GuestAccess` items, each "compute for
+``think_us``, then touch ``page``". Traces contain only *first
+touches* plus the compute time between them — repeated accesses to an
+already-mapped page cost nothing at the host, so folding them into
+think time loses no fidelity while keeping the simulation fast.
+
+When a host CPU :class:`~repro.sim.Resource` is supplied, think time
+runs while holding a CPU slot; fault waits release it. With more
+runnable vCPUs than slots, invocations slow down and their variance
+grows — the paper's observation at 64-way parallelism (§6.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, List, Optional
+
+from repro.host.fault import FaultHandler, FaultKind, FaultRecord
+from repro.sim import Environment, Event, Resource
+
+
+@dataclass(frozen=True)
+class GuestAccess:
+    """One step of guest execution: compute, then touch a page."""
+
+    page: int
+    write: bool = False
+    #: Content token stored when ``write`` (ignored for reads).
+    value: Optional[int] = None
+    #: Compute time preceding the access, microseconds.
+    think_us: float = 0.0
+
+
+@dataclass
+class VCpuResult:
+    """Outcome of running one trace."""
+
+    started_us: float
+    finished_us: float
+    records: List[FaultRecord]
+
+    @property
+    def elapsed_us(self) -> float:
+        return self.finished_us - self.started_us
+
+    @property
+    def fault_count(self) -> int:
+        return sum(1 for r in self.records if r.kind is not FaultKind.NONE)
+
+
+class VCpu:
+    """Executes guest access traces against a host fault handler."""
+
+    def __init__(
+        self,
+        env: Environment,
+        handler: FaultHandler,
+        cpu: Optional[Resource] = None,
+    ):
+        self.env = env
+        self.handler = handler
+        self.cpu = cpu
+
+    def run_trace(
+        self, trace: List[GuestAccess], tail_think_us: float = 0.0
+    ) -> Generator[Event, Any, VCpuResult]:
+        """Process helper: execute ``trace`` then ``tail_think_us`` of
+        final compute (e.g. serialising the response)."""
+        started = self.env.now
+        records: List[FaultRecord] = []
+        for access in trace:
+            if access.think_us > 0:
+                yield from self._compute(access.think_us)
+            record = yield from self.handler.access(
+                access.page, write=access.write, value=access.value
+            )
+            records.append(record)
+        if tail_think_us > 0:
+            yield from self._compute(tail_think_us)
+        return VCpuResult(started, self.env.now, records)
+
+    def _compute(self, think_us: float) -> Generator[Event, Any, None]:
+        """Burn CPU time, holding a host CPU slot if one is modelled."""
+        if self.cpu is None:
+            yield self.env.timeout(think_us)
+            return
+        request = self.cpu.request()
+        yield request
+        try:
+            yield self.env.timeout(think_us)
+        finally:
+            self.cpu.release(request)

@@ -1,0 +1,277 @@
+"""The paper's Table 2 functions, calibrated.
+
+Working-set sizes target Table 2 (input A and input B), and warm
+compute times target the paper's Figures 1 and 8 ballparks. The
+calibration tests in ``tests/test_workloads_calibration.py`` assert
+the working sets stay within tolerance of Table 2.
+
+Scaling exponents express how touched pages and compute grow with
+*effective workload scale* (``InputSpec.size_ratio``): e.g. matmul's
+compute grows superlinearly while its memory grows linearly, pyaes is
+pure compute over a small buffer, ffmpeg's frame buffers dominate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.base import WorkloadProfile
+
+_PROFILES: Dict[str, WorkloadProfile] = {}
+
+
+def _register(profile: WorkloadProfile) -> WorkloadProfile:
+    if profile.name in _PROFILES:
+        raise ValueError(f"duplicate profile {profile.name!r}")
+    _PROFILES[profile.name] = profile
+    return profile
+
+
+HELLO_WORLD = _register(
+    WorkloadProfile(
+        name="hello-world",
+        description="a minimal function replying with a 'hello' string",
+        core_pages=2_900,
+        var_base_pages=40,
+        var_pool_pages=80,
+        anon_base_pages=80,
+        anon_free_fraction=0.9,
+        compute_base_us=3_000.0,
+        spread_factor=8.0,
+        input_b_ratio=1.0,
+        ws_a_mb=11.8,
+        ws_b_mb=11.8,
+    )
+)
+
+READ_LIST = _register(
+    WorkloadProfile(
+        name="read-list",
+        description="read every page of a 512 MB resident Python list",
+        core_pages=3_000,
+        var_base_pages=300,
+        var_pool_pages=600,
+        data_pages=131_072,  # the 512 MB list
+        data_read_pages=131_072,
+        anon_base_pages=300,
+        anon_free_fraction=0.9,
+        compute_base_us=310_000.0,
+        spread_factor=6.0,
+        input_b_ratio=1.0,
+        ws_a_mb=526.0,
+        ws_b_mb=526.0,
+    )
+)
+
+MMAP = _register(
+    WorkloadProfile(
+        name="mmap",
+        description="mmap a 512 MB anonymous region and write every page",
+        core_pages=3_000,
+        var_base_pages=200,
+        var_pool_pages=400,
+        anon_base_pages=134_000,
+        anon_free_fraction=1.0,  # the whole region is unmapped at exit
+        compute_base_us=60_000.0,
+        spread_factor=6.0,
+        input_b_ratio=1.0,
+        ws_a_mb=536.0,
+        ws_b_mb=536.0,
+    )
+)
+
+IMAGE = _register(
+    WorkloadProfile(
+        name="image",
+        description="rotate a JPEG image (FunctionBench)",
+        core_pages=2_200,
+        var_base_pages=1_500,
+        var_pool_pages=6_000,
+        anon_base_pages=1_560,
+        anon_free_fraction=0.85,
+        compute_base_us=100_000.0,
+        var_exp=1.2,
+        compute_exp=0.8,
+        spread_factor=6.0,
+        input_b_ratio=2.0,
+        ws_a_mb=20.6,
+        ws_b_mb=32.6,
+    )
+)
+
+JSON_FN = _register(
+    WorkloadProfile(
+        name="json",
+        description="deserialise and serialise a JSON document",
+        core_pages=2_700,
+        var_base_pages=300,
+        var_pool_pages=1_500,
+        anon_base_pages=250,
+        anon_free_fraction=0.9,
+        compute_base_us=110_000.0,
+        compute_exp=0.8,
+        spread_factor=6.0,
+        input_b_ratio=1.8,
+        ws_a_mb=12.7,
+        ws_b_mb=14.4,
+    )
+)
+
+PYAES = _register(
+    WorkloadProfile(
+        name="pyaes",
+        description="pure-Python AES encryption of a string",
+        core_pages=2_600,
+        var_base_pages=320,
+        var_pool_pages=1_200,
+        anon_base_pages=300,
+        anon_free_fraction=0.9,
+        compute_base_us=850_000.0,
+        spread_factor=6.0,
+        input_b_ratio=1.25,
+        ws_a_mb=12.6,
+        ws_b_mb=13.2,
+    )
+)
+
+CHAMELEON = _register(
+    WorkloadProfile(
+        name="chameleon",
+        description="render an HTML table with the Chameleon templating engine",
+        core_pages=2_700,
+        var_base_pages=1_200,
+        var_pool_pages=5_000,
+        anon_base_pages=1_960,
+        anon_free_fraction=0.85,
+        compute_base_us=320_000.0,
+        spread_factor=6.0,
+        input_b_ratio=1.18,
+        ws_a_mb=22.9,
+        ws_b_mb=25.1,
+    )
+)
+
+MATMUL = _register(
+    WorkloadProfile(
+        name="matmul",
+        description="dense matrix multiplication (numpy)",
+        core_pages=3_000,
+        var_base_pages=500,
+        var_pool_pages=2_000,
+        anon_base_pages=25_400,
+        anon_free_fraction=0.9,
+        compute_base_us=2_300_000.0,
+        compute_exp=1.5,
+        spread_factor=5.0,
+        input_b_ratio=1.2,
+        ws_a_mb=113.0,
+        ws_b_mb=133.0,
+    )
+)
+
+FFMPEG = _register(
+    WorkloadProfile(
+        name="ffmpeg",
+        description="apply a grayscale filter to a 1-second 480p video",
+        core_pages=3_200,
+        var_base_pages=800,
+        var_pool_pages=3_000,
+        anon_base_pages=41_800,
+        anon_free_fraction=0.92,
+        compute_base_us=950_000.0,
+        spread_factor=5.0,
+        input_b_ratio=1.0,  # WS A and B are both ~178 MB in Table 2
+        ws_a_mb=179.0,
+        ws_b_mb=178.0,
+    )
+)
+
+COMPRESSION = _register(
+    WorkloadProfile(
+        name="compression",
+        description="compress a file (SeBS)",
+        core_pages=2_700,
+        var_base_pages=400,
+        var_pool_pages=1_600,
+        anon_base_pages=820,
+        anon_free_fraction=0.9,
+        compute_base_us=340_000.0,
+        compute_exp=0.9,
+        spread_factor=6.0,
+        input_b_ratio=1.105,
+        ws_a_mb=15.3,
+        ws_b_mb=15.8,
+    )
+)
+
+RECOGNITION = _register(
+    WorkloadProfile(
+        name="recognition",
+        description="PyTorch ResNet-50 image recognition",
+        core_pages=4_000,
+        var_base_pages=1_500,
+        var_pool_pages=6_000,
+        data_pages=51_200,  # ~200 MB of resident model weights
+        data_read_pages=51_200,
+        anon_base_pages=2_160,
+        anon_free_fraction=0.85,
+        compute_base_us=1_300_000.0,
+        compute_exp=0.7,
+        spread_factor=5.0,
+        input_b_ratio=1.28,
+        ws_a_mb=230.0,
+        ws_b_mb=234.0,
+    )
+)
+
+PAGERANK = _register(
+    WorkloadProfile(
+        name="pagerank",
+        description="igraph PageRank over a synthetic graph",
+        core_pages=3_000,
+        var_base_pages=600,
+        var_pool_pages=2_400,
+        anon_base_pages=23_000,
+        anon_free_fraction=0.9,
+        compute_base_us=1_000_000.0,
+        compute_exp=1.2,
+        spread_factor=5.0,
+        input_b_ratio=1.11,
+        ws_a_mb=104.0,
+        ws_b_mb=114.0,
+    )
+)
+
+
+#: The three synthetic functions (paper §3.1, Figure 7).
+SYNTHETIC_FUNCTIONS: List[str] = ["hello-world", "read-list", "mmap"]
+
+#: The nine variable-input benchmark functions (Figures 6 and 8).
+VARIABLE_INPUT_FUNCTIONS: List[str] = [
+    "json",
+    "compression",
+    "pyaes",
+    "chameleon",
+    "image",
+    "recognition",
+    "pagerank",
+    "matmul",
+    "ffmpeg",
+]
+
+#: Everything in Table 2.
+BENCHMARK_FUNCTIONS: List[str] = SYNTHETIC_FUNCTIONS + VARIABLE_INPUT_FUNCTIONS
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """Look up a profile by its paper name."""
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown function {name!r}; known: {sorted(_PROFILES)}"
+        ) from None
+
+
+def profile_names() -> List[str]:
+    return sorted(_PROFILES)

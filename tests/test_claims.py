@@ -1,0 +1,47 @@
+"""Tests for the machine-checkable paper claims (appendix A.4)."""
+
+from repro.experiments import (
+    fig6_execution,
+    fig8_sensitivity,
+    fig10_bursty,
+    fig11_remote,
+)
+from repro.experiments.claims import (
+    check_c1,
+    check_c2,
+    check_c3,
+    check_c4,
+)
+
+
+def test_c1_on_reduced_sweep():
+    result = check_c1(fig6_execution.run(functions=["json", "image"]))
+    assert result.claim_id == "C1"
+    assert result.passed, result.details
+    assert result.details["speedup_vs_firecracker"] > 1.4
+
+
+def test_c2_on_reduced_sweep():
+    result = check_c2(
+        fig8_sensitivity.run(functions=["json"], ratios=(0.5, 1.0, 4.0))
+    )
+    assert result.passed, result.details
+
+
+def test_c3_on_reduced_sweep():
+    result = check_c3(
+        fig10_bursty.run(functions=("hello-world",), parallelisms=(1, 4))
+    )
+    assert result.passed, result.details
+
+
+def test_c4_on_reduced_sweep():
+    result = check_c4(fig11_remote.run(functions=["hello-world", "json"]))
+    assert result.passed, result.details
+
+
+def test_claim_result_str_shows_status():
+    result = check_c4(fig11_remote.run(functions=["hello-world"]))
+    text = str(result)
+    assert "C4" in text
+    assert "PASS" in text or "FAIL" in text

@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_functions_command(capsys):
+    assert main(["functions"]) == 0
+    out = capsys.readouterr().out
+    assert "hello-world" in out
+    assert "recognition" in out
+    assert "Table 2" in out
+
+
+def test_invoke_command_single_policy(capsys):
+    code = main(
+        ["invoke", "hello-world", "--policy", "faasnap", "--input", "A"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "faasnap" in out
+    assert "hello-world" in out
+
+
+def test_invoke_command_ratio_input(capsys):
+    code = main(
+        ["invoke", "hello-world", "--policy", "cached", "--input", "0.5"]
+    )
+    assert code == 0
+    assert "cached" in capsys.readouterr().out
+
+
+def test_invoke_rejects_unknown_function():
+    with pytest.raises(SystemExit):
+        main(["invoke", "nope"])
+
+
+def test_experiment_unknown_id(capsys):
+    assert main(["experiment", "fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_experiment_table2(capsys):
+    assert main(["experiment", "table2"]) == 0
+    assert "working sets" in capsys.readouterr().out
+
+
+def test_fleet_command(capsys):
+    code = main(
+        [
+            "fleet",
+            "--functions",
+            "10",
+            "--hours",
+            "0.5",
+            "--policy",
+            "faasnap",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "mean latency" in out
+    assert "warm %" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

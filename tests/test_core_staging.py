@@ -1,0 +1,133 @@
+"""Tests for hierarchical snapshot staging (paper §7.2)."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import Policy
+from repro.core.daemon import FaaSnapPlatform
+from repro.core.restore import PlatformConfig, invocation_process
+from repro.core.staging import SnapshotStager
+from repro.sim import Environment
+from repro.storage import BlockDevice, FileStore
+from repro.storage.presets import NVME_LOCAL, S3_OBJECT
+from repro.workloads.base import INPUT_A, WorkloadProfile
+
+SMALL = WorkloadProfile(
+    name="small-staging",
+    description="tiny profile for staging tests",
+    core_pages=300,
+    var_base_pages=100,
+    var_pool_pages=400,
+    anon_base_pages=150,
+    compute_base_us=10_000.0,
+    spread_factor=5.0,
+    input_b_ratio=1.4,
+    total_pages=16_384,
+    boot_pages=1_024,
+)
+
+
+def s3_platform():
+    config = dataclasses.replace(PlatformConfig(), device=S3_OBJECT)
+    return FaaSnapPlatform(config)
+
+
+def test_stage_file_copies_contents_and_memoizes():
+    platform = s3_platform()
+    handle = platform.register_function(SMALL)
+    artifacts = platform.ensure_record(handle, INPUT_A, Policy.FAASNAP)
+
+    local_device = BlockDevice(platform.env, NVME_LOCAL)
+    local_store = FileStore(platform.env, local_device)
+    stager = SnapshotStager(platform.env, local_store)
+
+    remote = artifacts.warm_snapshot.memory_file
+    process = platform.env.process(stager.stage_file(remote))
+    local = platform.env.run(until=process)
+    assert local.device is local_device
+    assert local.pages == remote.pages
+    assert local.sparse == remote.sparse
+    assert stager.stats.files_staged == 1
+    # Sparse: only non-zero pages cross the wire.
+    assert stager.stats.bytes_transferred == len(remote.pages) * 4096
+    assert stager.is_staged(remote.name)
+
+    # Second staging is free (memoized).
+    before = stager.stats.bytes_transferred
+    process = platform.env.process(stager.stage_file(remote))
+    again = platform.env.run(until=process)
+    assert again is local
+    assert stager.stats.bytes_transferred == before
+
+
+def test_stage_artifacts_bundle():
+    platform = s3_platform()
+    handle = platform.register_function(SMALL)
+    artifacts = platform.ensure_record(handle, INPUT_A, Policy.FAASNAP)
+
+    local_store = FileStore(
+        platform.env, BlockDevice(platform.env, NVME_LOCAL)
+    )
+    stager = SnapshotStager(platform.env, local_store)
+    process = platform.env.process(stager.stage_artifacts(artifacts))
+    staged = platform.env.run(until=process)
+
+    assert staged.warm_snapshot.memory_file.device.spec.name == "nvme-local"
+    assert staged.loading_file.device.spec.name == "nvme-local"
+    assert staged.loading_set is artifacts.loading_set  # metadata reused
+    assert staged.warm_snapshot.page_value(0) == (
+        artifacts.warm_snapshot.page_value(0)
+    )
+    assert stager.stats.files_staged == 3  # memory + vmstate + loading
+
+
+def test_staged_invocation_much_faster_than_direct_s3():
+    platform = s3_platform()
+    handle = platform.register_function(SMALL)
+    artifacts = platform.ensure_record(handle, INPUT_A, Policy.FAASNAP)
+    test_input = SMALL.input_b()
+
+    platform.drop_caches()
+    direct = platform.env.run(
+        until=platform.env.process(
+            invocation_process(
+                platform.env,
+                platform.config,
+                platform.store,
+                platform.cache,
+                None,
+                artifacts,
+                test_input,
+                Policy.FAASNAP,
+                "direct-s3",
+            )
+        )
+    )
+
+    local_store = FileStore(
+        platform.env, BlockDevice(platform.env, NVME_LOCAL)
+    )
+    stager = SnapshotStager(platform.env, local_store)
+    staged_artifacts = platform.env.run(
+        until=platform.env.process(stager.stage_artifacts(artifacts))
+    )
+    platform.drop_caches()
+    staged = platform.env.run(
+        until=platform.env.process(
+            invocation_process(
+                platform.env,
+                platform.config,
+                platform.store,
+                platform.cache,
+                None,
+                staged_artifacts,
+                test_input,
+                Policy.FAASNAP,
+                "staged-local",
+            )
+        )
+    )
+    assert staged.total_us < direct.total_us
+    # Staging itself took time — the one-shot cost the tier pays.
+    assert stager.stats.staging_time_us > 0

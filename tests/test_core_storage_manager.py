@@ -1,0 +1,111 @@
+"""Tests for snapshot storage management (paper §7.2)."""
+
+import pytest
+
+from repro.core import FaaSnapPlatform, Policy
+from repro.core.storage_manager import (
+    SnapshotBundle,
+    SnapshotStorageManager,
+    bundle_from_artifacts,
+)
+from repro.workloads.base import INPUT_A, WorkloadProfile
+
+MB = 1_000_000
+
+
+def bundle(function, total_mb, used_us=0.0):
+    return SnapshotBundle(
+        function=function,
+        memory_bytes=int(total_mb * MB * 0.8),
+        artifact_bytes=int(total_mb * MB * 0.2),
+        created_us=0.0,
+        last_used_us=used_us,
+    )
+
+
+def test_quota_validation():
+    with pytest.raises(ValueError):
+        SnapshotStorageManager(quota_bytes=0)
+
+
+def test_admit_and_lookup():
+    manager = SnapshotStorageManager(quota_bytes=100 * MB)
+    assert manager.admit(bundle("a", 30))
+    assert manager.has_snapshot("a")
+    assert manager.stored_bytes == 30 * MB
+    assert manager.stored_functions == ["a"]
+    assert manager.stats.admitted == 1
+
+
+def test_oversized_bundle_rejected():
+    manager = SnapshotStorageManager(quota_bytes=10 * MB)
+    assert not manager.admit(bundle("huge", 50))
+    assert not manager.has_snapshot("huge")
+
+
+def test_lru_eviction_on_pressure():
+    manager = SnapshotStorageManager(quota_bytes=100 * MB)
+    manager.admit(bundle("old", 40, used_us=0.0))
+    manager.admit(bundle("newer", 40, used_us=100.0))
+    manager.touch("old", now_us=200.0)  # old becomes most recent
+    manager.admit(bundle("incoming", 40, used_us=300.0))
+    # 'newer' (LRU) was evicted; 'old' survived because it was touched.
+    assert manager.has_snapshot("old")
+    assert not manager.has_snapshot("newer")
+    assert manager.has_snapshot("incoming")
+    assert manager.stats.evictions == 1
+    assert manager.stats.evicted_bytes == 40 * MB
+
+
+def test_readmit_replaces_existing():
+    manager = SnapshotStorageManager(quota_bytes=100 * MB)
+    manager.admit(bundle("a", 30))
+    manager.admit(bundle("a", 50))
+    assert manager.stored_bytes == 50 * MB
+    assert manager.stats.admitted == 1  # replacement, not a new admit
+
+
+def test_infrequent_functions_not_snapshotted():
+    manager = SnapshotStorageManager(
+        quota_bytes=100 * MB, min_invocations_per_hour=1.0
+    )
+    assert not manager.admit(bundle("rare", 10), invocations_per_hour=0.2)
+    assert manager.stats.rejected_infrequent == 1
+    assert manager.admit(bundle("hot", 10), invocations_per_hour=60.0)
+    assert manager.should_snapshot(2.0)
+    assert not manager.should_snapshot(0.5)
+
+
+def test_touch_and_evict_unknown_raise():
+    manager = SnapshotStorageManager(quota_bytes=MB)
+    with pytest.raises(KeyError):
+        manager.touch("ghost", 0.0)
+    with pytest.raises(KeyError):
+        manager.evict("ghost")
+
+
+def test_bundle_from_real_artifacts():
+    profile = WorkloadProfile(
+        name="tiny-storage",
+        description="minimal",
+        core_pages=200,
+        var_base_pages=50,
+        var_pool_pages=200,
+        anon_base_pages=100,
+        compute_base_us=5_000.0,
+        total_pages=16_384,
+        boot_pages=1_024,
+    )
+    platform = FaaSnapPlatform()
+    handle = platform.register_function(profile)
+    faasnap = platform.ensure_record(handle, INPUT_A, Policy.FAASNAP)
+    measured = bundle_from_artifacts(faasnap, now_us=platform.env.now)
+    assert measured.function == "tiny-storage"
+    # Sparse memory footprint: non-zero pages only, which is far less
+    # than the 64 MB of guest memory but at least the boot region.
+    assert 1_024 * 4096 <= measured.memory_bytes < 16_384 * 4096
+    assert measured.artifact_bytes > 0
+
+    reap = platform.ensure_record(handle, INPUT_A, Policy.REAP)
+    reap_bundle = bundle_from_artifacts(reap, now_us=platform.env.now)
+    assert reap_bundle.artifact_bytes > 0

@@ -1,0 +1,116 @@
+"""Smoke tests for the experiment modules.
+
+The benchmarks run the experiments at paper scale and assert the
+paper's claims; these tests only verify each module's plumbing —
+run(), the result object, and format_table() — on minimal inputs so
+`pytest tests/` covers every experiment code path quickly.
+"""
+
+import pytest
+
+from repro.core.policies import Policy
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    fig1_breakdown,
+    fig6_execution,
+    fig7_synthetic,
+    fig8_sensitivity,
+    fig10_bursty,
+    fig11_remote,
+    table2_workloads,
+    table3_analysis,
+)
+from repro.experiments.common import Cell, Grid, fresh_platform, measure
+from repro.workloads.base import INPUT_A
+
+
+def test_all_experiments_registry():
+    assert set(ALL_EXPERIMENTS) == {
+        "fig1",
+        "fig2",
+        "table2",
+        "fig6",
+        "fig7",
+        "fig8",
+        "table3",
+        "fig9",
+        "fig10",
+        "fig11",
+    }
+    for module in ALL_EXPERIMENTS.values():
+        assert hasattr(module, "run")
+        assert hasattr(module, "format_table")
+
+
+def test_grid_lookup_and_errors():
+    platform, handles = fresh_platform(functions=("hello-world",))
+    cell = measure(platform, handles["hello-world"], Policy.CACHED, INPUT_A)
+    grid = Grid()
+    grid.add(cell)
+    assert grid.get("hello-world", Policy.CACHED) is cell
+    with pytest.raises(KeyError):
+        grid.get("hello-world", Policy.REAP)
+    assert grid.totals_ms(Policy.CACHED)["hello-world"] == cell.total_ms
+    assert cell.setup_ms + cell.invoke_ms == pytest.approx(cell.total_ms)
+
+
+def test_table2_smoke():
+    result = table2_workloads.run(functions=["hello-world", "json"])
+    assert len(result.rows) == 2
+    table = table2_workloads.format_table(result)
+    assert "json" in table
+
+
+def test_fig1_smoke():
+    result = fig1_breakdown.run(functions=["hello-world"])
+    table = fig1_breakdown.format_table(result)
+    assert "hello-world" in table
+    assert "warm" in table
+    # No image in functions -> no image-diff row.
+    assert "image-diff" not in table
+
+
+def test_fig6_smoke():
+    result = fig6_execution.run(functions=["json"])
+    table = fig6_execution.format_table(result)
+    assert "A->B" in table and "B->A" in table
+    assert result.speedup("A->B", Policy.FIRECRACKER) > 0
+
+
+def test_fig7_smoke():
+    result = fig7_synthetic.run(functions=["hello-world"])
+    assert "hello-world" in fig7_synthetic.format_table(result)
+
+
+def test_fig8_smoke():
+    result = fig8_sensitivity.run(functions=["json"], ratios=(0.5, 1.0))
+    series = result.series("json", Policy.FAASNAP)
+    assert len(series) == 2
+    assert "json" in fig8_sensitivity.format_table(result)
+    with pytest.raises(KeyError):
+        result.grid.get("json", Policy.FAASNAP, size_ratio=99.0)
+
+
+def test_table3_smoke():
+    result = table3_analysis.run(functions=("image",))
+    row = result.get(Policy.FAASNAP, "image")
+    assert row.total_ms > 0
+    with pytest.raises(KeyError):
+        result.get(Policy.FAASNAP, "ffmpeg")
+    assert "image" in table3_analysis.format_table(result)
+
+
+def test_fig10_smoke():
+    result = fig10_bursty.run(
+        functions=("hello-world",), parallelisms=(1, 2)
+    )
+    point = result.points[("hello-world", "same", Policy.FAASNAP, 2)]
+    assert point.mean_ms > 0
+    assert point.max_ms >= point.mean_ms
+    assert "hello-world" in fig10_bursty.format_table(result)
+
+
+def test_fig11_smoke():
+    result = fig11_remote.run(functions=["hello-world"])
+    assert result.speedup_over(Policy.FIRECRACKER) > 1.0
+    assert "hello-world" in fig11_remote.format_table(result)

@@ -1,0 +1,141 @@
+"""Unit and integration tests for the fleet scheduler."""
+
+import pytest
+
+from repro.core.policies import Policy
+from repro.fleet.costs import FunctionCosts
+from repro.fleet.scheduler import (
+    FleetConfig,
+    FleetSimulator,
+    StartKind,
+)
+from repro.fleet.workload import Arrival, ArrivalTrace, FleetFunction
+
+SECOND = 1_000_000.0
+MINUTE = 60 * SECOND
+
+#: Synthetic cost table (ms-scale numbers shaped like the paper's:
+#: warm ~ compute, snapshot ~ 5x warm, cold ~ seconds).
+COSTS = FunctionCosts(
+    profile_name="json",
+    policy=Policy.FAASNAP,
+    warm_us=100_000.0,
+    snapshot_us=250_000.0,
+    cold_us=2_500_000.0,
+    warm_memory_mb=200.0,
+)
+
+
+def make_sim(ttl=15 * MINUTE, budget=10_000.0, snapshots=True, names=("f",)):
+    fleet = [
+        FleetFunction(
+            name=name, profile_name="json", mean_interarrival_us=MINUTE
+        )
+        for name in names
+    ]
+    config = FleetConfig(
+        restore_policy=Policy.FAASNAP,
+        keep_alive_ttl_us=ttl,
+        memory_budget_mb=budget,
+        snapshots_enabled=snapshots,
+    )
+    costs = {name: COSTS for name in names}
+    return FleetSimulator(fleet, config, costs=costs)
+
+
+def trace(*arrivals):
+    items = [Arrival(time_us=t, function=f) for t, f in arrivals]
+    return ArrivalTrace(
+        arrivals=items, duration_us=max(t for t, _ in arrivals) + 1
+    )
+
+
+def test_first_invocation_is_cold():
+    report = make_sim().run(trace((0, "f")))
+    assert report.count() == 1
+    assert report.served[0].kind is StartKind.COLD
+    assert report.served[0].latency_us == COSTS.cold_us
+
+
+def test_second_invocation_within_ttl_is_warm():
+    report = make_sim().run(trace((0, "f"), (10 * SECOND, "f")))
+    kinds = [s.kind for s in report.served]
+    assert kinds == [StartKind.COLD, StartKind.WARM]
+
+
+def test_invocation_during_busy_vm_is_not_warm():
+    """A request arriving while the only VM is still serving cannot
+    reuse it."""
+    report = make_sim().run(trace((0, "f"), (SECOND, "f")))
+    # Cold start takes 2.5 s, so at t=1 s the VM is still busy and no
+    # snapshot exists yet.
+    kinds = [s.kind for s in report.served]
+    assert kinds == [StartKind.COLD, StartKind.COLD]
+
+
+def test_expired_ttl_falls_back_to_snapshot():
+    report = make_sim(ttl=5 * MINUTE).run(
+        trace((0, "f"), (10 * SECOND, "f"), (30 * MINUTE, "f"))
+    )
+    kinds = [s.kind for s in report.served]
+    assert kinds == [StartKind.COLD, StartKind.WARM, StartKind.SNAPSHOT]
+    assert report.evictions == 1
+
+
+def test_snapshots_disabled_falls_back_to_cold():
+    report = make_sim(ttl=5 * MINUTE, snapshots=False).run(
+        trace((0, "f"), (30 * MINUTE, "f"))
+    )
+    kinds = [s.kind for s in report.served]
+    assert kinds == [StartKind.COLD, StartKind.COLD]
+
+
+def test_memory_budget_evicts_lru_other_function():
+    sim = make_sim(budget=350.0, names=("a", "b"))
+    report = sim.run(
+        trace((0, "a"), (5 * SECOND, "b"), (10 * SECOND, "a"))
+    )
+    # Budget fits one 200 MB VM only: keeping b evicts a, so a's third
+    # invocation cannot be warm.
+    assert report.evictions >= 1
+    assert report.served[2].kind is not StartKind.WARM
+    assert max(report.memory_samples_mb) <= 350.0 + 200.0
+
+
+def test_zero_ttl_never_keeps_warm():
+    report = make_sim(ttl=0).run(
+        trace((0, "f"), (10 * SECOND, "f"), (20 * SECOND, "f"))
+    )
+    assert report.count(StartKind.WARM) == 0
+
+
+def test_report_aggregates():
+    report = make_sim().run(
+        trace((0, "f"), (10 * SECOND, "f"), (20 * SECOND, "f"))
+    )
+    assert report.count() == 3
+    assert report.fraction(StartKind.WARM) == pytest.approx(2 / 3)
+    assert report.mean_latency_us() == pytest.approx(
+        (COSTS.cold_us + 2 * COSTS.warm_us) / 3
+    )
+    assert report.latency_percentile(0) == COSTS.warm_us
+    assert report.latency_percentile(99) == COSTS.cold_us
+    assert report.mean_memory_mb() > 0
+
+
+def test_longer_ttl_trades_memory_for_warm_starts():
+    arrivals = [(i * 10 * MINUTE, "f") for i in range(20)]
+    short = make_sim(ttl=5 * MINUTE).run(trace(*arrivals))
+    long = make_sim(ttl=30 * MINUTE).run(trace(*arrivals))
+    assert long.count(StartKind.WARM) > short.count(StartKind.WARM)
+    assert long.mean_memory_mb() >= short.mean_memory_mb()
+    assert long.mean_latency_us() < short.mean_latency_us()
+
+
+def test_snapshot_tier_beats_cold_only_for_infrequent_functions():
+    """The paper's §7.1 argument in one assertion."""
+    arrivals = [(i * 30 * MINUTE, "f") for i in range(10)]
+    with_snapshots = make_sim(ttl=15 * MINUTE).run(trace(*arrivals))
+    without = make_sim(ttl=15 * MINUTE, snapshots=False).run(trace(*arrivals))
+    assert with_snapshots.mean_latency_us() < without.mean_latency_us()
+    assert with_snapshots.count(StartKind.SNAPSHOT) > 0

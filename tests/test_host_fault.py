@@ -1,0 +1,309 @@
+"""Unit tests for the page-fault handler and readahead."""
+
+import pytest
+
+from repro.host import (
+    AddressSpace,
+    FaultHandler,
+    FaultKind,
+    HostParams,
+    PageCache,
+    ReadaheadPolicy,
+    UserfaultfdManager,
+)
+from repro.sim import Environment, SimulationError
+from repro.storage import BlockDevice, DeviceSpec, FileStore
+from repro.storage.filestore import PAGE_SIZE
+
+
+PARAMS = HostParams()
+
+
+class Rig:
+    """A small host rig: device, file store, cache, space, handler."""
+
+    def __init__(self, num_pages=256, params=PARAMS, uffd=False):
+        self.env = Environment()
+        self.device = BlockDevice(
+            self.env,
+            DeviceSpec("d", 100.0, 10.0, 1000.0, 1e6, queue_depth=8),
+        )
+        self.store = FileStore(self.env, self.device)
+        self.cache = PageCache(self.env)
+        self.space = AddressSpace(num_pages)
+        self.params = params
+        self.uffd = (
+            UserfaultfdManager(self.env, params) if uffd else None
+        )
+        self.handler = FaultHandler(
+            self.env, params, self.cache, self.space, uffd=self.uffd
+        )
+
+    def run_accesses(self, accesses):
+        """accesses: list of (page, write, value); returns records."""
+        records = []
+
+        def proc():
+            for page, write, value in accesses:
+                record = yield from self.handler.access(page, write, value)
+                records.append(record)
+
+        self.env.process(proc())
+        self.env.run()
+        return records
+
+
+def test_anon_fault_cost_and_install():
+    rig = Rig()
+    rig.space.mmap_anonymous(0, 256)
+    (record,) = rig.run_accesses([(5, False, None)])
+    assert record.kind is FaultKind.ANON
+    assert record.duration_us == pytest.approx(PARAMS.anon_fault_us)
+    assert rig.space.is_installed(5)
+    assert 5 in rig.space.ept
+
+
+def test_second_access_is_free():
+    rig = Rig()
+    rig.space.mmap_anonymous(0, 256)
+    records = rig.run_accesses([(5, False, None), (5, False, None)])
+    assert records[1].kind is FaultKind.NONE
+    assert records[1].duration_us == 0.0
+    assert rig.handler.stats.count() == 1
+
+
+def test_minor_fault_when_page_cached():
+    rig = Rig()
+    f = rig.store.create("mem", 256, pages={7: 70})
+    rig.space.mmap_file(0, 256, f, 0)
+    rig.cache.insert("mem", 7)
+    (record,) = rig.run_accesses([(7, False, None)])
+    assert record.kind is FaultKind.MINOR
+    assert record.duration_us == pytest.approx(PARAMS.minor_fault_us)
+    assert record.block_requests == 0
+    assert rig.space.pte[7] == 70
+
+
+def test_major_fault_reads_from_disk_with_readahead():
+    rig = Rig()
+    pages = {i: i + 1 for i in range(256)}
+    f = rig.store.create("mem", 256, pages=pages)
+    rig.space.mmap_file(0, 256, f, 0)
+    (record,) = rig.run_accesses([(10, False, None)])
+    assert record.kind is FaultKind.MAJOR
+    assert record.block_requests == 1
+    assert record.bytes_read == PARAMS.readahead_pages * PAGE_SIZE
+    assert record.duration_us > PARAMS.minor_fault_us
+    # Readahead cached the neighbours.
+    assert rig.cache.peek("mem", 10)
+    assert rig.cache.peek("mem", 10 + PARAMS.readahead_pages - 1)
+    assert not rig.cache.peek("mem", 10 + PARAMS.readahead_pages)
+
+
+def test_access_after_readahead_is_minor():
+    rig = Rig()
+    f = rig.store.create("mem", 256, pages={i: i + 1 for i in range(256)})
+    rig.space.mmap_file(0, 256, f, 0)
+    records = rig.run_accesses([(10, False, None), (11, False, None)])
+    assert records[0].kind is FaultKind.MAJOR
+    assert records[1].kind is FaultKind.MINOR
+
+
+def test_sparse_hole_fault_is_minor_without_io():
+    rig = Rig()
+    f = rig.store.create("mem", 256, pages={}, sparse=True)
+    rig.space.mmap_file(0, 256, f, 0)
+    (record,) = rig.run_accesses([(3, False, None)])
+    assert record.kind is FaultKind.MINOR
+    assert rig.device.stats.requests == 0
+    assert rig.space.pte[3] == 0
+
+
+def test_fault_waits_on_pending_read_without_own_io():
+    rig = Rig()
+    f = rig.store.create("mem", 256, pages={i: 1 for i in range(256)})
+    rig.space.mmap_file(0, 256, f, 0)
+    records = []
+
+    def loader():
+        rig.cache.begin_pending("mem", 20)
+        yield from f.read(20, 1)
+        rig.cache.insert("mem", 20)
+
+    def guest():
+        yield rig.env.timeout(1)
+        record = yield from rig.handler.access(20)
+        records.append(record)
+
+    rig.env.process(loader())
+    rig.env.process(guest())
+    rig.env.run()
+    (record,) = records
+    assert record.kind is FaultKind.MAJOR
+    assert record.block_requests == 0  # the loader's read, not ours
+    assert rig.device.stats.requests == 1
+
+
+def test_present_fault_after_pte_preinstall():
+    """UFFDIO_COPY-installed pages take only the fast KVM fixup."""
+    rig = Rig()
+    rig.space.mmap_anonymous(0, 256)
+    rig.space.install_pte(9, 42)
+    (record,) = rig.run_accesses([(9, False, None)])
+    assert record.kind is FaultKind.PRESENT
+    assert record.duration_us == pytest.approx(PARAMS.present_fault_us)
+
+
+def test_write_to_anon_page():
+    rig = Rig()
+    rig.space.mmap_anonymous(0, 256)
+    (record,) = rig.run_accesses([(4, True, 123)])
+    assert record.kind is FaultKind.ANON
+    assert rig.space.backing_value(4) == 123
+
+
+def test_write_requires_value():
+    rig = Rig()
+    rig.space.mmap_anonymous(0, 256)
+    with pytest.raises(SimulationError):
+        rig.run_accesses([(4, True, None)])
+
+
+def test_cow_break_on_first_write_to_file_page():
+    rig = Rig()
+    f = rig.store.create("mem", 256, pages={2: 22})
+    rig.space.mmap_file(0, 256, f, 0)
+    rig.cache.insert("mem", 2)
+    records = rig.run_accesses(
+        [(2, False, None), (2, True, 55), (2, True, 66)]
+    )
+    assert records[0].kind is FaultKind.MINOR
+    assert records[1].kind is FaultKind.COW
+    assert records[2].kind is FaultKind.NONE  # already dirty
+    assert rig.space.backing_value(2) == 66
+    assert f.page_value(2) == 22  # MAP_PRIVATE: file unchanged
+
+
+def test_unmapped_access_raises():
+    rig = Rig()
+    with pytest.raises(SimulationError, match="SIGSEGV"):
+        rig.run_accesses([(0, False, None)])
+
+
+def test_uffd_delegation():
+    rig = Rig(uffd=True)
+    rig.space.mmap_anonymous(0, 256)
+    handled = []
+
+    def handler(page):
+        handled.append(page)
+        yield rig.env.timeout(10)
+        return 1000 + page
+
+    rig.uffd.register(0, 128, handler)
+    (record,) = rig.run_accesses([(50, False, None)])
+    assert record.kind is FaultKind.UFFD
+    assert handled == [50]
+    assert rig.space.pte[50] == 1050
+    expected = (
+        PARAMS.uffd_wakeup_us
+        + 10
+        + PARAMS.uffd_copy_us
+        + PARAMS.uffd_resume_stall_us
+        + PARAMS.vcpu_block_overhead_us
+    )
+    assert record.duration_us == pytest.approx(expected)
+    assert rig.uffd.delegated_faults == 1
+
+
+def test_uffd_outside_registration_falls_through():
+    rig = Rig(uffd=True)
+    rig.space.mmap_anonymous(0, 256)
+
+    def handler(page):
+        yield rig.env.timeout(1)
+        return 0
+
+    rig.uffd.register(0, 10, handler)
+    (record,) = rig.run_accesses([(100, False, None)])
+    assert record.kind is FaultKind.ANON
+
+
+def test_uffd_overlapping_registration_rejected():
+    rig = Rig(uffd=True)
+
+    def handler(page):
+        yield rig.env.timeout(1)
+        return 0
+
+    rig.uffd.register(0, 10, handler)
+    with pytest.raises(SimulationError):
+        rig.uffd.register(5, 10, handler)
+
+
+def test_fault_stats_aggregation():
+    rig = Rig()
+    rig.space.mmap_anonymous(0, 256)
+    rig.run_accesses([(i, False, None) for i in range(10)])
+    stats = rig.handler.stats
+    assert stats.count() == 10
+    assert stats.count(FaultKind.ANON) == 10
+    assert stats.total_time_us() == pytest.approx(10 * PARAMS.anon_fault_us)
+    assert stats.total_block_requests() == 0
+
+
+def test_fault_jitter_disabled_by_default():
+    rig = Rig()
+    rig.space.mmap_anonymous(0, 256)
+    records = rig.run_accesses([(i, False, None) for i in range(20)])
+    assert all(
+        r.duration_us == pytest.approx(PARAMS.anon_fault_us) for r in records
+    )
+
+
+def test_fault_jitter_spreads_costs_deterministically():
+    params = HostParams(fault_jitter_fraction=0.5)
+
+    def run_once():
+        rig = Rig(params=params)
+        rig.space.mmap_anonymous(0, 256)
+        records = rig.run_accesses([(i, False, None) for i in range(64)])
+        return [r.duration_us for r in records]
+
+    first = run_once()
+    second = run_once()
+    assert first == second  # deterministic
+    assert len(set(first)) > 10  # actually spread
+    for duration in first:
+        assert (
+            PARAMS.anon_fault_us * 0.5
+            <= duration
+            <= PARAMS.anon_fault_us * 1.5
+        )
+
+
+def test_readahead_window_trims_at_resident_page():
+    params = HostParams(readahead_pages=8)
+    rig = Rig(params=params)
+    f = rig.store.create("mem", 64, pages={i: 1 for i in range(64)})
+    rig.cache.insert("mem", 4)
+    policy = ReadaheadPolicy(params)
+    window = policy.window(f, rig.cache, 0)
+    assert window == [0, 1, 2, 3]
+
+
+def test_readahead_window_clips_at_eof():
+    params = HostParams(readahead_pages=8)
+    rig = Rig(params=params)
+    f = rig.store.create("mem", 10, pages={i: 1 for i in range(10)})
+    policy = ReadaheadPolicy(params)
+    assert policy.window(f, rig.cache, 7) == [7, 8, 9]
+
+
+def test_readahead_window_includes_faulting_page_even_if_pending():
+    params = HostParams(readahead_pages=4)
+    rig = Rig(params=params)
+    f = rig.store.create("mem", 16, pages={i: 1 for i in range(16)})
+    rig.cache.begin_pending("mem", 1)
+    policy = ReadaheadPolicy(params)
+    assert policy.window(f, rig.cache, 0) == [0]

@@ -1,0 +1,80 @@
+"""Unit tests for mincore and procfs helpers."""
+
+import pytest
+
+from repro.host import AddressSpace, HostParams, PageCache, Procfs
+from repro.host.mincore import mincore_file, mincore_new_pages
+from repro.sim import Environment
+
+
+PARAMS = HostParams()
+
+
+def run(env, gen):
+    return env.run(until=env.process(gen))
+
+
+def test_mincore_reports_present_pages():
+    env = Environment()
+    cache = PageCache(env)
+    cache.insert("mem", 1)
+    cache.insert("mem", 3)
+    cache.insert("other", 2)
+
+    vector = run(env, mincore_file(env, PARAMS, cache, "mem", 5))
+    assert vector == [False, True, False, True, False]
+
+
+def test_mincore_charges_scan_cost():
+    env = Environment()
+    cache = PageCache(env)
+    run(env, mincore_file(env, PARAMS, cache, "mem", 1000))
+    expected = PARAMS.mincore_base_us + 1000 * PARAMS.mincore_per_page_us
+    assert env.now == pytest.approx(expected)
+
+
+def test_mincore_does_not_perturb_lru():
+    env = Environment()
+    cache = PageCache(env, capacity_pages=2)
+    cache.insert("mem", 0)
+    cache.insert("mem", 1)
+    run(env, mincore_file(env, PARAMS, cache, "mem", 2))
+    cache.insert("mem", 2)  # must evict page 0, oldest by insertion
+    assert not cache.peek("mem", 0)
+
+
+def test_mincore_new_pages_incremental():
+    env = Environment()
+    cache = PageCache(env)
+    seen = set()
+
+    cache.insert("mem", 0)
+    cache.insert("mem", 5)
+    first = run(env, mincore_new_pages(env, PARAMS, cache, "mem", 10, seen))
+    assert first == [0, 5]
+
+    cache.insert("mem", 3)
+    second = run(env, mincore_new_pages(env, PARAMS, cache, "mem", 10, seen))
+    assert second == [3]
+
+    third = run(env, mincore_new_pages(env, PARAMS, cache, "mem", 10, seen))
+    assert third == []
+    assert seen == {0, 3, 5}
+
+
+def test_procfs_rss():
+    env = Environment()
+    space = AddressSpace(100)
+    space.mmap_anonymous(0, 100)
+    procfs = Procfs(env, PARAMS, space)
+
+    def poll():
+        rss = yield from procfs.rss_pages()
+        return rss
+
+    assert run(env, poll()) == 0
+    space.install_pte(1, 1)
+    space.install_pte(2, 1)
+    assert run(env, poll()) == 2
+    assert procfs.polls == 2
+    assert env.now == pytest.approx(2 * PARAMS.procfs_poll_us)

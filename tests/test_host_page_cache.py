@@ -1,0 +1,159 @@
+"""Unit tests for the host page cache."""
+
+import pytest
+
+from repro.host import PageCache
+from repro.sim import Environment, SimulationError
+
+
+@pytest.fixture
+def cache():
+    return PageCache(Environment())
+
+
+def test_empty_cache(cache):
+    assert len(cache) == 0
+    assert not cache.contains("f", 0)
+    assert not cache.peek("f", 0)
+
+
+def test_insert_and_contains(cache):
+    cache.insert("f", 3)
+    assert cache.contains("f", 3)
+    assert not cache.contains("f", 4)
+    assert not cache.contains("g", 3)
+    assert len(cache) == 1
+
+
+def test_insert_range(cache):
+    cache.insert_range("f", 10, 5)
+    assert cache.pages_for_file("f") == [10, 11, 12, 13, 14]
+    assert cache.count_for_file("f") == 5
+
+
+def test_reinsert_is_idempotent(cache):
+    cache.insert("f", 1)
+    cache.insert("f", 1)
+    assert len(cache) == 1
+    assert cache.insertions == 1
+
+
+def test_drop_file(cache):
+    cache.insert_range("a", 0, 3)
+    cache.insert_range("b", 0, 2)
+    dropped = cache.drop_file("a")
+    assert dropped == 3
+    assert cache.count_for_file("a") == 0
+    assert cache.count_for_file("b") == 2
+
+
+def test_drop_all(cache):
+    cache.insert_range("a", 0, 3)
+    assert cache.drop_all() == 3
+    assert len(cache) == 0
+
+
+def test_lru_eviction():
+    cache = PageCache(Environment(), capacity_pages=3)
+    for page in range(3):
+        cache.insert("f", page)
+    cache.contains("f", 0)  # touch page 0: now most recent
+    cache.insert("f", 3)  # evicts page 1 (least recent)
+    assert cache.peek("f", 0)
+    assert not cache.peek("f", 1)
+    assert cache.peek("f", 2)
+    assert cache.peek("f", 3)
+    assert cache.evictions == 1
+
+
+def test_peek_does_not_touch_lru():
+    cache = PageCache(Environment(), capacity_pages=2)
+    cache.insert("f", 0)
+    cache.insert("f", 1)
+    cache.peek("f", 0)  # must NOT refresh page 0
+    cache.insert("f", 2)  # evicts page 0
+    assert not cache.peek("f", 0)
+    assert cache.peek("f", 1)
+
+
+def test_capacity_validation():
+    with pytest.raises(SimulationError):
+        PageCache(Environment(), capacity_pages=0)
+
+
+def test_pending_read_lifecycle():
+    env = Environment()
+    cache = PageCache(env)
+    event = cache.begin_pending("f", 5)
+    assert cache.pending_event("f", 5) is event
+    assert not event.triggered
+    cache.insert("f", 5)
+    assert event.triggered
+    assert cache.pending_event("f", 5) is None
+    assert cache.peek("f", 5)
+
+
+def test_begin_pending_twice_returns_same_event():
+    cache = PageCache(Environment())
+    first = cache.begin_pending("f", 1)
+    second = cache.begin_pending("f", 1)
+    assert first is second
+
+
+def test_begin_pending_on_resident_page_rejected():
+    cache = PageCache(Environment())
+    cache.insert("f", 1)
+    with pytest.raises(SimulationError):
+        cache.begin_pending("f", 1)
+
+
+def test_abandon_pending_fires_event_without_inserting():
+    cache = PageCache(Environment())
+    event = cache.begin_pending("f", 7)
+    cache.abandon_pending("f", 7)
+    assert event.triggered
+    assert not cache.peek("f", 7)
+    assert cache.pending_event("f", 7) is None
+
+
+def test_waiter_blocks_until_pending_completes():
+    env = Environment()
+    cache = PageCache(env)
+    log = []
+
+    def loader():
+        cache.begin_pending("f", 0)
+        yield env.timeout(50)
+        cache.insert("f", 0)
+
+    def faulter():
+        yield env.timeout(1)
+        pending = cache.pending_event("f", 0)
+        assert pending is not None
+        yield pending
+        log.append(env.now)
+
+    env.process(loader())
+    env.process(faulter())
+    env.run()
+    assert log == [50.0]
+
+
+def test_warm_file(cache):
+    cache.warm_file("mem", range(100))
+    assert cache.count_for_file("mem") == 100
+
+
+def test_resident_set_snapshot(cache):
+    cache.insert("a", 1)
+    cache.insert("b", 2)
+    assert cache.resident_set() == {("a", 1), ("b", 2)}
+
+
+def test_drop_file_leaves_pending_untouched():
+    cache = PageCache(Environment())
+    cache.insert("f", 0)
+    event = cache.begin_pending("f", 1)
+    cache.drop_file("f")
+    assert cache.pending_event("f", 1) is event
+    assert not cache.peek("f", 0)

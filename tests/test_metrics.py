@@ -1,0 +1,136 @@
+"""Unit tests for statistics, histograms and table rendering."""
+
+import pytest
+
+from repro.metrics import (
+    Histogram,
+    fault_time_histogram,
+    geometric_mean,
+    mean,
+    render_table,
+    stddev,
+)
+from repro.metrics.stats import FIGURE2_EDGES
+
+
+# -- scalar stats ---------------------------------------------------
+
+
+def test_mean():
+    assert mean([1, 2, 3]) == 2.0
+    assert mean([]) == 0.0
+
+
+def test_stddev():
+    assert stddev([5]) == 0.0
+    assert stddev([]) == 0.0
+    assert stddev([2, 4]) == pytest.approx(1.0)
+    assert stddev([3, 3, 3]) == 0.0
+
+
+def test_geometric_mean():
+    assert geometric_mean([1, 4]) == pytest.approx(2.0)
+    assert geometric_mean([]) == 0.0
+    with pytest.raises(ValueError):
+        geometric_mean([1, 0])
+    with pytest.raises(ValueError):
+        geometric_mean([-1])
+
+
+# -- histogram ---------------------------------------------------------
+
+
+def test_histogram_edge_validation():
+    with pytest.raises(ValueError):
+        Histogram(edges=[1.0])
+    with pytest.raises(ValueError):
+        Histogram(edges=[2.0, 1.0])
+
+
+def test_histogram_add_and_buckets():
+    histogram = Histogram(edges=[0.0, 1.0, 10.0])
+    for value in (0.5, 0.9, 5.0, 100.0):
+        histogram.add(value)
+    assert histogram.counts == [2, 1, 1]
+    assert histogram.total == 4
+    labels = [label for label, _ in histogram.buckets()]
+    assert labels == ["[0,1)", "[1,10)", ">=10"]
+    assert histogram.as_dict()["[0,1)"] == 2
+
+
+def test_histogram_below_first_edge_goes_to_first_bucket():
+    histogram = Histogram(edges=[1.0, 2.0])
+    histogram.add(0.1)
+    assert histogram.counts == [1, 0]
+
+
+def test_figure2_edges_are_powers_of_two():
+    assert FIGURE2_EDGES[0] == 0.5
+    assert FIGURE2_EDGES[-1] == 512.0
+    for a, b in zip(FIGURE2_EDGES, FIGURE2_EDGES[1:]):
+        assert b == 2 * a
+
+
+def test_fault_time_histogram():
+    histogram = fault_time_histogram([2.5, 3.7, 100.0, 600.0])
+    assert histogram.total == 4
+    assert histogram.as_dict()[">=512"] == 1
+
+
+# -- table rendering ------------------------------------------------------
+
+
+def test_render_table_alignment():
+    out = render_table(
+        ["name", "value"],
+        [["alpha", 1.0], ["b", 123456.0]],
+        title="T",
+    )
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    assert "alpha" in lines[3]
+    assert "123456" in lines[4]
+
+
+def test_render_table_float_precision():
+    out = render_table(["v"], [[0.1234], [12.3], [1234.5]])
+    assert "0.123" in out
+    assert "12.3" in out
+    assert "1235" in out or "1234" in out
+
+
+def test_render_table_empty_rows():
+    out = render_table(["a", "b"], [])
+    assert "a" in out and "b" in out
+
+
+# -- bar charts ------------------------------------------------------------
+
+
+def test_render_bars_scaling():
+    from repro.metrics import render_bars
+
+    out = render_bars(["a", "bb"], [50.0, 100.0], width=10, unit="ms")
+    lines = out.splitlines()
+    assert lines[0].startswith("a ")
+    assert lines[0].count("#") == 5
+    assert lines[1].count("#") == 10
+    assert "ms" in lines[0]
+
+
+def test_render_bars_zero_and_title():
+    from repro.metrics import render_bars
+
+    out = render_bars(["x"], [0.0], title="T")
+    assert out.splitlines()[0] == "T"
+    assert "#" not in out
+
+
+def test_render_bars_validation():
+    from repro.metrics import render_bars
+
+    with pytest.raises(ValueError):
+        render_bars(["a"], [1.0, 2.0])
+    assert render_bars([], [], title="empty") == "empty"

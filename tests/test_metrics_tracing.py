@@ -1,0 +1,135 @@
+"""Tests for span tracing, including integration with invocations."""
+
+import pytest
+
+from repro.core import FaaSnapPlatform, Policy
+from repro.metrics.tracing import Span, Tracer, render_trace
+from repro.sim import Environment
+from repro.workloads.base import INPUT_A, WorkloadProfile
+
+TINY = WorkloadProfile(
+    name="tiny-trace",
+    description="minimal profile",
+    core_pages=200,
+    var_base_pages=50,
+    var_pool_pages=200,
+    anon_base_pages=100,
+    compute_base_us=5_000.0,
+    spread_factor=5.0,
+    total_pages=16_384,
+    boot_pages=1_024,
+)
+
+
+def test_span_nesting_and_durations():
+    env = Environment()
+    tracer = Tracer(env)
+
+    def proc():
+        with tracer.span("outer"):
+            yield env.timeout(10)
+            with tracer.span("inner"):
+                yield env.timeout(5)
+            yield env.timeout(1)
+
+    env.run(until=env.process(proc()))
+    (outer,) = tracer.roots
+    assert outer.name == "outer"
+    assert outer.duration_us == pytest.approx(16)
+    (inner,) = outer.children
+    assert inner.duration_us == pytest.approx(5)
+    assert inner.start_us == pytest.approx(10)
+
+
+def test_open_span_duration_raises():
+    span = Span(name="x", start_us=0.0)
+    with pytest.raises(ValueError):
+        span.duration_us
+
+
+def test_end_unknown_span_raises():
+    env = Environment()
+    tracer = Tracer(env)
+    orphan = Span(name="orphan", start_us=0.0)
+    with pytest.raises(ValueError):
+        tracer.end(orphan)
+
+
+def test_end_closes_dangling_children():
+    env = Environment()
+    tracer = Tracer(env)
+    outer = tracer.start("outer")
+    tracer.start("inner-left-open")
+    tracer.end(outer)
+    assert outer.end_us is not None
+    assert outer.children[0].end_us is not None
+
+
+def test_record_posthoc_span():
+    env = Environment()
+    tracer = Tracer(env)
+    root = tracer.record("root", 0.0, 100.0)
+    child = tracer.record("child", 10.0, 60.0, parent=root)
+    assert tracer.roots == [root]
+    assert root.find("child") is child
+    assert root.find("ghost") is None
+
+
+def test_render_trace_tree():
+    root = Span(name="invocation", start_us=0.0, end_us=100_000.0)
+    root.children.append(Span(name="setup", start_us=0.0, end_us=40_000.0))
+    root.annotate("note")
+    text = render_trace(root)
+    assert "invocation: 100.00 ms" in text
+    assert "  setup: 40.00 ms" in text
+    assert "- note" in text
+
+
+def test_export_json_roundtrips():
+    import json
+
+    from repro.metrics.tracing import export_json
+
+    env = Environment()
+    tracer = Tracer(env)
+    root = tracer.record("root", 0.0, 50.0)
+    root.annotate("hello")
+    tracer.record("child", 5.0, 25.0, parent=root)
+    parsed = json.loads(export_json(tracer))
+    assert parsed[0]["name"] == "root"
+    assert parsed[0]["duration_us"] == 50.0
+    assert parsed[0]["annotations"] == ["hello"]
+    assert parsed[0]["children"][0]["name"] == "child"
+
+
+def test_invocation_records_span_tree():
+    platform = FaaSnapPlatform()
+    handle = platform.register_function(TINY)
+    tracer = Tracer(platform.env)
+    result = platform.invoke(
+        handle, INPUT_A, Policy.FAASNAP, tracer=tracer
+    )
+    (root,) = tracer.roots
+    assert "tiny-trace" in root.name
+    setup = root.find("setup")
+    invoke = root.find("invoke")
+    loader = root.find("concurrent loader")
+    assert setup is not None and invoke is not None and loader is not None
+    assert setup.duration_us == pytest.approx(result.setup_us)
+    assert invoke.duration_us == pytest.approx(result.invoke_us)
+    assert loader.annotations  # fetched N MB note
+    # The loader overlaps setup: it starts at request time.
+    assert loader.start_us == pytest.approx(root.start_us)
+
+
+def test_reap_invocation_traces_fetch():
+    platform = FaaSnapPlatform()
+    handle = platform.register_function(TINY)
+    tracer = Tracer(platform.env)
+    platform.invoke(handle, INPUT_A, Policy.REAP, tracer=tracer)
+    (root,) = tracer.roots
+    fetch = root.find("working-set fetch + UFFDIO_COPY")
+    assert fetch is not None
+    assert fetch.duration_us > 0
+    text = render_trace(root)
+    assert "working-set fetch" in text

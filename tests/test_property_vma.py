@@ -1,0 +1,103 @@
+"""Property-based tests for address-space overlay semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.host import ANONYMOUS, AddressSpace, FileBacking
+from repro.sim import Environment
+from repro.storage import BlockDevice, DeviceSpec, FileStore
+
+SPACE_PAGES = 256
+
+
+@st.composite
+def mapping_sequences(draw):
+    """A random sequence of anonymous/file MAP_FIXED mappings."""
+    count = draw(st.integers(min_value=1, max_value=12))
+    ops = []
+    for _ in range(count):
+        start = draw(st.integers(min_value=0, max_value=SPACE_PAGES - 1))
+        npages = draw(
+            st.integers(min_value=1, max_value=SPACE_PAGES - start)
+        )
+        is_file = draw(st.booleans())
+        file_start = (
+            draw(st.integers(min_value=0, max_value=SPACE_PAGES - npages))
+            if is_file
+            else 0
+        )
+        ops.append((start, npages, is_file, file_start))
+    return ops
+
+
+def build_space(ops):
+    env = Environment()
+    device = BlockDevice(env, DeviceSpec("d", 100, 10, 1000, 1e6))
+    store = FileStore(env, device)
+    backing_file = store.create(
+        "mem", SPACE_PAGES, pages={i: i + 1 for i in range(SPACE_PAGES)}
+    )
+    space = AddressSpace(SPACE_PAGES)
+    for start, npages, is_file, file_start in ops:
+        if is_file:
+            space.mmap_file(start, npages, backing_file, file_start)
+        else:
+            space.mmap_anonymous(start, npages)
+    return space, backing_file, ops
+
+
+@given(mapping_sequences())
+@settings(max_examples=80)
+def test_vmas_never_overlap_and_stay_sorted(ops):
+    space, _, _ = build_space(ops)
+    vmas = space.vmas()
+    for left, right in zip(vmas, vmas[1:]):
+        assert left.end <= right.start
+    assert [v.start for v in vmas] == sorted(v.start for v in vmas)
+
+
+@given(mapping_sequences())
+@settings(max_examples=80)
+def test_last_mapping_wins(ops):
+    """MAP_FIXED semantics: each page is backed by the most recent
+    mapping that covered it."""
+    space, backing_file, ops = build_space(ops)
+    for page in range(SPACE_PAGES):
+        expected = None
+        for start, npages, is_file, file_start in ops:
+            if start <= page < start + npages:
+                expected = (is_file, file_start + (page - start))
+        vma = space.resolve(page)
+        if expected is None:
+            assert vma is None
+            continue
+        is_file, file_page = expected
+        if is_file:
+            assert isinstance(vma.backing, FileBacking)
+            assert vma.file_page(page) == file_page
+        else:
+            assert vma.backing is ANONYMOUS
+
+
+@given(mapping_sequences())
+@settings(max_examples=60)
+def test_gaps_plus_vmas_tile_the_space(ops):
+    space, _, _ = build_space(ops)
+    covered = sum(v.npages for v in space.vmas())
+    gaps = sum(n for _, n in space.coverage_gaps())
+    assert covered + gaps == SPACE_PAGES
+
+
+@given(mapping_sequences())
+@settings(max_examples=60)
+def test_backing_value_matches_final_mapping(ops):
+    space, backing_file, ops = build_space(ops)
+    for page in range(0, SPACE_PAGES, 7):
+        vma = space.resolve(page)
+        if vma is None:
+            continue
+        value = space.backing_value(page)
+        if vma.backing is ANONYMOUS:
+            assert value == 0
+        else:
+            assert value == backing_file.page_value(vma.file_page(page))

@@ -1,0 +1,46 @@
+"""Calibration tests: workload traces match the paper's Table 2."""
+
+import pytest
+
+from repro.workloads import (
+    BENCHMARK_FUNCTIONS,
+    SYNTHETIC_FUNCTIONS,
+    VARIABLE_INPUT_FUNCTIONS,
+    get_profile,
+    generate_trace,
+    generate_trace_pair,
+)
+from repro.workloads.base import INPUT_A, InputSpec
+
+#: Tolerance against Table 2 working-set sizes.
+WS_TOLERANCE = 0.15
+
+
+@pytest.mark.parametrize("name", BENCHMARK_FUNCTIONS)
+def test_working_set_a_matches_table2(name):
+    profile = get_profile(name)
+    trace = generate_trace(profile, INPUT_A)
+    assert trace.working_set_mb == pytest.approx(
+        profile.ws_a_mb, rel=WS_TOLERANCE
+    ), f"{name}: WS(A) {trace.working_set_mb:.1f} MB vs {profile.ws_a_mb} MB"
+
+
+@pytest.mark.parametrize("name", BENCHMARK_FUNCTIONS)
+def test_working_set_b_matches_table2(name):
+    profile = get_profile(name)
+    trace = generate_trace(profile, profile.input_b())
+    assert trace.working_set_mb == pytest.approx(
+        profile.ws_b_mb, rel=WS_TOLERANCE
+    ), f"{name}: WS(B) {trace.working_set_mb:.1f} MB vs {profile.ws_b_mb} MB"
+
+
+def test_registry_lists_cover_table2():
+    assert len(BENCHMARK_FUNCTIONS) == 12
+    assert set(SYNTHETIC_FUNCTIONS) | set(VARIABLE_INPUT_FUNCTIONS) == set(
+        BENCHMARK_FUNCTIONS
+    )
+
+
+def test_unknown_profile_raises():
+    with pytest.raises(KeyError, match="unknown function"):
+        get_profile("nope")

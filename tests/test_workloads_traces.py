@@ -1,0 +1,216 @@
+"""Behavioural tests for workload trace generation."""
+
+import pytest
+
+from repro.vm.layout import GuestLayout
+from repro.workloads import (
+    build_layout,
+    clean_snapshot_contents,
+    generate_trace,
+    generate_trace_pair,
+    get_profile,
+)
+from repro.workloads.base import (
+    INPUT_A,
+    InputSpec,
+    WorkloadProfile,
+    content_token,
+    runtime_resident_offsets,
+)
+
+
+SMALL = WorkloadProfile(
+    name="small-test",
+    description="tiny profile for fast unit tests",
+    core_pages=100,
+    var_base_pages=50,
+    var_pool_pages=200,
+    data_pages=80,
+    data_read_pages=60,
+    anon_base_pages=40,
+    anon_free_fraction=0.75,
+    compute_base_us=10_000.0,
+    spread_factor=4.0,
+    input_b_ratio=1.5,
+    total_pages=8_192,
+    boot_pages=512,
+)
+
+
+def test_trace_is_deterministic():
+    t1 = generate_trace(SMALL, INPUT_A)
+    t2 = generate_trace(SMALL, INPUT_A)
+    assert [a.page for a in t1.accesses] == [a.page for a in t2.accesses]
+    assert t1.freed_pages == t2.freed_pages
+
+
+def test_same_size_different_content_touches_different_pages():
+    """The image-diff scenario: same input size, different content."""
+    t1 = generate_trace(SMALL, InputSpec(content_id=1))
+    t2 = generate_trace(SMALL, InputSpec(content_id=2))
+    only_1 = t1.touched_pages - t2.touched_pages
+    only_2 = t2.touched_pages - t1.touched_pages
+    assert only_1 and only_2
+    # But the core pages are shared.
+    layout = build_layout(SMALL)
+    shared = t1.touched_pages & t2.touched_pages
+    assert len(shared) >= SMALL.core_pages
+
+
+def test_same_content_touches_same_pages():
+    t1 = generate_trace(SMALL, InputSpec(content_id=7))
+    t2 = generate_trace(SMALL, InputSpec(content_id=7))
+    assert t1.touched_pages == t2.touched_pages
+
+
+def test_larger_ratio_touches_more_pages():
+    small = generate_trace(SMALL, InputSpec(content_id=1, size_ratio=0.5))
+    base = generate_trace(SMALL, InputSpec(content_id=1, size_ratio=1.0))
+    large = generate_trace(SMALL, InputSpec(content_id=1, size_ratio=3.0))
+    assert small.working_set_pages < base.working_set_pages
+    assert base.working_set_pages < large.working_set_pages
+
+
+def test_larger_ratio_computes_longer():
+    base = generate_trace(SMALL, InputSpec(content_id=1, size_ratio=1.0))
+    large = generate_trace(SMALL, InputSpec(content_id=1, size_ratio=4.0))
+    assert large.total_think_us > base.total_think_us
+
+
+def test_total_think_time_matches_profile():
+    trace = generate_trace(SMALL, INPUT_A)
+    assert trace.total_think_us == pytest.approx(
+        SMALL.compute_base_us, rel=0.01
+    )
+
+
+def test_data_pages_read_sequentially():
+    layout = build_layout(SMALL)
+    trace = generate_trace(SMALL, INPUT_A)
+    data_pages = [
+        a.page
+        for a in trace.accesses
+        if layout.region_of(a.page) == "data"
+    ]
+    assert len(data_pages) == SMALL.data_read_pages
+    assert data_pages == sorted(data_pages)
+
+
+def test_anon_pages_are_writes_with_nonzero_tokens():
+    layout = build_layout(SMALL)
+    writes = [
+        a
+        for a in generate_trace(SMALL, INPUT_A).accesses
+        if layout.region_of(a.page) == "heap"
+    ]
+    assert writes
+    for access in writes:
+        assert access.write
+        assert access.value == content_token(access.page, INPUT_A.content_id)
+        assert access.value != 0
+
+
+def test_freed_pages_are_heap_suffix():
+    trace = generate_trace(SMALL, INPUT_A)
+    n_alloc = SMALL.anon_pages_at(1.0)
+    expected_freed = round(n_alloc * SMALL.anon_free_fraction)
+    assert len(trace.freed_pages) == expected_freed
+    layout = build_layout(SMALL)
+    for page in trace.freed_pages:
+        assert layout.region_of(page) == "heap"
+
+
+def test_test_phase_reuses_freed_heap_pages():
+    pair = generate_trace_pair(SMALL, INPUT_A, InputSpec(content_id=2))
+    layout = build_layout(SMALL)
+    test_heap = {
+        a.page
+        for a in pair.test.accesses
+        if layout.region_of(a.page) == "heap"
+    }
+    # All freed record pages are reused before any fresh page.
+    assert set(pair.record.freed_pages) <= test_heap
+
+
+def test_larger_test_input_bumps_past_record_heap():
+    pair = generate_trace_pair(
+        SMALL, INPUT_A, InputSpec(content_id=2, size_ratio=4.0)
+    )
+    assert pair.test.heap_bump > pair.record.heap_bump
+
+
+def test_heap_allocation_capped_at_heap_size():
+    trace = generate_trace(
+        SMALL, InputSpec(content_id=1, size_ratio=1_000_000.0)
+    )
+    layout = build_layout(SMALL)
+    heap_pages = {
+        a.page
+        for a in trace.accesses
+        if layout.region_of(a.page) == "heap"
+    }
+    assert len(heap_pages) <= layout.heap_pages
+
+
+def test_core_pages_scattered_over_span():
+    offsets = runtime_resident_offsets(SMALL)
+    span = SMALL.runtime_span_pages
+    assert span >= 4 * len(offsets) * 0.9
+    assert max(offsets) < span
+    assert len(set(offsets)) == len(offsets)
+    # Pages spread across the span, not bunched at the front.
+    assert max(offsets) > span * 0.9
+
+
+def test_clean_snapshot_contents_cover_boot_runtime_data():
+    layout = build_layout(SMALL)
+    contents = clean_snapshot_contents(SMALL)
+    expected = (
+        SMALL.boot_pages
+        + len(runtime_resident_offsets(SMALL))
+        + SMALL.data_pages
+    )
+    assert len(contents) == expected
+    assert all(value != 0 for value in contents.values())
+    regions = {layout.region_of(page) for page in contents}
+    assert regions == {"boot", "runtime", "data"}
+
+
+def test_invalid_profiles_rejected():
+    with pytest.raises(ValueError):
+        WorkloadProfile(
+            name="bad",
+            description="",
+            core_pages=0,
+            var_base_pages=0,
+            var_pool_pages=0,
+        )
+    with pytest.raises(ValueError):
+        WorkloadProfile(
+            name="bad",
+            description="",
+            core_pages=10,
+            var_base_pages=20,
+            var_pool_pages=10,
+        )
+    with pytest.raises(ValueError):
+        WorkloadProfile(
+            name="bad",
+            description="",
+            core_pages=10,
+            var_base_pages=0,
+            var_pool_pages=0,
+            data_pages=5,
+            data_read_pages=10,
+        )
+
+
+def test_invalid_input_spec_rejected():
+    with pytest.raises(ValueError):
+        InputSpec(content_id=1, size_ratio=0.0)
+
+
+def test_input_b_spec():
+    b = SMALL.input_b()
+    assert b.content_id != INPUT_A.content_id
+    assert b.size_ratio == SMALL.input_b_ratio
