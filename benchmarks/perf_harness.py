@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Performance regression harness for the simulation kernel.
+
+Runs a fixed, deterministic workload — a slice of the paper's Figure 1
+and Figure 8 grids covering every restore policy and both the batching
+fast path and the event-driven machinery — and reports:
+
+* **events/sec** — heap events dispatched per wall-clock second, the
+  kernel's raw throughput;
+* **cells/sec** — measured invocations per wall-clock second, the
+  end-to-end number an experiment run feels;
+* **events** — total heap events dispatched, which is deterministic:
+  a change here means simulated behaviour changed, not just speed.
+
+Usage:
+
+    python benchmarks/perf_harness.py              # full workload
+    python benchmarks/perf_harness.py --smoke      # CI gate (~10 s)
+    python benchmarks/perf_harness.py --smoke --update   # rebaseline
+    python benchmarks/perf_harness.py --figures fig6 fig8   # time figures
+
+``--smoke`` compares events/sec against the committed baseline
+(``BENCH_core.json`` next to this file) and exits non-zero on a
+regression beyond ``--threshold`` (default 30%, generous because CI
+runners vary). The event *count* is checked exactly.
+
+``--figures`` regenerates whole experiments and reports wall-clock per
+experiment; with ``--update`` the timings are recorded in the
+baseline's ``experiments`` section as an informational perf
+trajectory (not gated — full figures are too slow for CI).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.policies import MAIN_POLICIES, Policy  # noqa: E402
+from repro.experiments.common import fresh_platform, measure  # noqa: E402
+from repro.workloads.base import INPUT_A, InputSpec  # noqa: E402
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_core.json"
+
+#: (function, size ratio) cells; every MAIN policy runs on each.
+SMOKE_CELLS = [
+    ("json", 1.0),
+    ("json", 4.0),
+    ("image", 0.5),
+    ("chameleon", 2.0),
+]
+
+FULL_CELLS = SMOKE_CELLS + [
+    ("pyaes", 1.0),
+    ("compression", 2.0),
+    ("matmul", 0.25),
+    ("pagerank", 4.0),
+]
+
+
+def run_workload(cells) -> dict:
+    """Run the workload on one fresh platform; return the metrics."""
+    functions = tuple(dict.fromkeys(name for name, _ in cells))
+    platform, handles = fresh_platform(functions=functions)
+    started = time.perf_counter()
+    measured = 0
+    for name, ratio in cells:
+        spec = InputSpec(content_id=9, size_ratio=ratio)
+        for policy in MAIN_POLICIES:
+            measure(platform, handles[name], policy, spec, INPUT_A)
+            measured += 1
+        measure(
+            platform, handles[name], Policy.WARM, InputSpec(9, ratio), INPUT_A
+        )
+        measured += 1
+    elapsed = time.perf_counter() - started
+    events = platform.env.events_processed
+    return {
+        "events": events,
+        "cells": measured,
+        "wall_seconds": round(elapsed, 3),
+        "events_per_sec": round(events / elapsed, 1),
+        "cells_per_sec": round(measured / elapsed, 2),
+    }
+
+
+def time_figures(names) -> dict:
+    """Regenerate whole experiments; wall-clock seconds per id."""
+    from repro.experiments import ALL_EXPERIMENTS
+
+    timings = {}
+    for name in names:
+        module = ALL_EXPERIMENTS[name]
+        started = time.perf_counter()
+        module.run()
+        timings[name] = round(time.perf_counter() - started, 2)
+        print(f"{name:>16}: {timings[name]}s")
+    return timings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small fixed workload, gated against BENCH_core.json",
+    )
+    parser.add_argument(
+        "--figures",
+        nargs="*",
+        metavar="ID",
+        help="also regenerate these experiments (default fig6 fig8) "
+        "and report wall-clock per experiment",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="write the measured numbers to BENCH_core.json",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="allowed events/sec regression fraction (default 0.30)",
+    )
+    args = parser.parse_args()
+
+    cells = SMOKE_CELLS if args.smoke else FULL_CELLS
+    metrics = run_workload(cells)
+    for key, value in metrics.items():
+        print(f"{key:>16}: {value}")
+
+    figure_timings = None
+    if args.figures is not None:
+        figure_timings = time_figures(args.figures or ["fig6", "fig8"])
+
+    if args.update:
+        baseline = {
+            "smoke": metrics if args.smoke else run_workload(SMOKE_CELLS)
+        }
+        if figure_timings is not None:
+            baseline["experiments"] = {
+                "wall_seconds": figure_timings,
+                "note": "informational trajectory, not CI-gated",
+            }
+        elif BASELINE_PATH.exists():
+            previous = json.loads(BASELINE_PATH.read_text())
+            if "experiments" in previous:
+                baseline["experiments"] = previous["experiments"]
+        BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+
+    if not args.smoke:
+        return 0
+
+    if not BASELINE_PATH.exists():
+        print(f"no baseline at {BASELINE_PATH}; run with --update", file=sys.stderr)
+        return 2
+    baseline = json.loads(BASELINE_PATH.read_text())["smoke"]
+
+    status = 0
+    if metrics["events"] != baseline["events"]:
+        print(
+            f"FAIL: dispatched {metrics['events']} heap events, baseline "
+            f"{baseline['events']} — simulated behaviour changed",
+            file=sys.stderr,
+        )
+        status = 1
+    floor = baseline["events_per_sec"] * (1.0 - args.threshold)
+    if metrics["events_per_sec"] < floor:
+        print(
+            f"FAIL: {metrics['events_per_sec']:.0f} events/sec is below "
+            f"{floor:.0f} (baseline {baseline['events_per_sec']:.0f} "
+            f"- {args.threshold:.0%})",
+            file=sys.stderr,
+        )
+        status = 1
+    if status == 0:
+        print(
+            f"OK: events/sec within {args.threshold:.0%} of baseline "
+            f"({metrics['events_per_sec']:.0f} vs "
+            f"{baseline['events_per_sec']:.0f}), event count exact"
+        )
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,6 +37,14 @@ def main() -> int:
     parser.add_argument(
         "--quick", action="store_true", help="reduced parameter sweeps"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for independent cells (bit-identical "
+        "to serial; 0/1 serial, -1 one per CPU)",
+    )
     args = parser.parse_args()
 
     names = (
@@ -52,7 +60,7 @@ def main() -> int:
         module = ALL_EXPERIMENTS[name]
         kwargs = QUICK_ARGS.get(name, {}) if args.quick else {}
         started = time.time()
-        result = module.run(**kwargs)
+        result = module.run(jobs=args.jobs, **kwargs)
         elapsed = time.time() - started
         print(module.format_table(result))
         print(f"[{name} completed in {elapsed:.1f}s]\n")

@@ -102,7 +102,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    print(module.format_table(module.run()))
+    print(module.format_table(module.run(jobs=args.jobs)))
     return 0
 
 
@@ -135,7 +135,13 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         keep_alive_ttl_us=args.ttl_minutes * US_PER_MINUTE,
         memory_budget_mb=args.memory_gb * 1024,
     )
-    report = FleetSimulator(fleet, config, cost_model=CostModel()).run(trace)
+    cost_model = CostModel()
+    if args.jobs is not None:
+        cost_model.precompute(
+            [(name, Policy(args.policy)) for name in ("json", "pyaes")],
+            jobs=args.jobs,
+        )
+    report = FleetSimulator(fleet, config, cost_model=cost_model).run(trace)
     print(
         render_table(
             ["metric", "value"],
@@ -185,6 +191,14 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment", help="regenerate a paper table/figure"
     )
     experiment.add_argument("id", help="e.g. fig1, table2, fig9")
+    experiment.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for independent cells (results are "
+        "bit-identical to a serial run; 0/1 serial, -1 one per CPU)",
+    )
     experiment.set_defaults(handler=_cmd_experiment)
 
     validate = sub.add_parser(
@@ -206,6 +220,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[p.value for p in Policy],
     )
     fleet.add_argument("--seed", type=int, default=1)
+    fleet.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for precomputing serving costs",
+    )
     fleet.set_defaults(handler=_cmd_fleet)
 
     return parser

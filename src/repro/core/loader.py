@@ -80,8 +80,18 @@ def _read_chunk(
         for page in fresh:
             cache.abandon_pending(file.name, page)
         raise
-    for page in fresh:
-        cache.insert(file.name, page)
+    # Insert contiguous runs of fresh pages in one range operation
+    # each: ``fresh`` is ascending, so pending completions and the
+    # insertion log keep the exact per-page order.
+    run_start = fresh[0]
+    run_end = run_start + 1
+    for page in fresh[1:]:
+        if page == run_end:
+            run_end += 1
+        else:
+            cache.insert_range(file.name, run_start, run_end - run_start)
+            run_start, run_end = page, page + 1
+    cache.insert_range(file.name, run_start, run_end - run_start)
     stats.pages_fetched += len(fresh)
     stats.requests += file.device.stats.requests - before_requests
     stats.bytes_read += file.device.stats.bytes_read - before_bytes

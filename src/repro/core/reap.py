@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Any, Callable, Generator
 
 from repro.core.working_set import ReapWorkingSet
+from repro.host.fault import plan_uncontended_read
 from repro.host.page_cache import PageCache
 from repro.host.params import HostParams
 from repro.host.readahead import ReadaheadPolicy
@@ -115,4 +116,22 @@ def make_reap_fault_handler(
         yield from readahead.fault_read(memory_file, cache, page)
         return memory_file.page_value(page)
 
+    def fast(page: int, now: float):
+        # Synchronous twin of ``handler`` for the fault fast path
+        # (see repro.host.uffd.UffdFastHandler): prices the fault on
+        # the virtual clock ``now`` without mutating, deferring the
+        # read's side effects to the plan's commit. Bails to the
+        # event path only for waits on in-flight reads.
+        if memory_file.is_hole(page):
+            return 0, now + _CACHED_PREAD_US, None
+        if cache.contains(memory_file.name, page):
+            return memory_file.page_value(page), now + _CACHED_PREAD_US, None
+        if cache.pending_event(memory_file.name, page) is not None:
+            return None
+        plan = plan_uncontended_read(readahead, memory_file, cache, page, now)
+        if plan is None:
+            return None
+        return memory_file.page_value(page), plan.end, plan
+
+    handler.fast = fast
     return handler

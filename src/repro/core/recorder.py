@@ -14,12 +14,13 @@ vCPU, exactly like the daemon thread it models.
 
 from __future__ import annotations
 
-from typing import Any, Generator, List
+from typing import Any, Generator, List, Optional
 
 from repro.host.page_cache import PageCache
 from repro.host.params import HostParams
 from repro.host.procfs import Procfs
 from repro.sim import Environment, Event
+from repro.vm.vcpu import ObservationHorizon
 from repro.core.working_set import DEFAULT_GROUP_PAGES, WorkingSetGroups
 
 #: How often the daemon polls procfs, microseconds. The paper does
@@ -38,6 +39,7 @@ def mincore_recorder(
     done: Event,
     group_pages: int = DEFAULT_GROUP_PAGES,
     poll_interval_us: float = DEFAULT_POLL_INTERVAL_US,
+    horizon: Optional[ObservationHorizon] = None,
 ) -> Generator[Event, Any, WorkingSetGroups]:
     """Process helper: record the working set of one invocation.
 
@@ -49,7 +51,18 @@ def mincore_recorder(
     scan charges the full present-bit scan of the mapping (base +
     per-page), even though the simulation diffs incrementally via the
     page cache's insertion log.
+
+    ``horizon`` lets the recorded VM's vCPU batch its fault fast path
+    without ever being observed mid-batch: before each sleep this
+    process publishes the instant of its *next* read of shared state
+    (the RSS count, the cache's insertion log), and the batching vCPU
+    flushes rather than install a page at or past that instant.
     """
+
+    def publish(next_read_at: float) -> None:
+        if horizon is not None:
+            horizon.next_at = next_read_at
+
     batches: List[List[int]] = []
     cursor = 0
     seen: set = set()
@@ -58,9 +71,11 @@ def mincore_recorder(
     def scan() -> Generator[Event, Any, None]:
         nonlocal cursor
         # Charge the real mincore cost for scanning the whole mapping.
-        yield env.timeout(
+        scan_cost = (
             params.mincore_base_us + params.mincore_per_page_us * num_pages
         )
+        publish(env.now + scan_cost)
+        yield env.timeout(scan_cost)
         log = cache.insertion_log(memory_file_name)
         fresh: List[int] = []
         for page in log[cursor:]:
@@ -72,13 +87,17 @@ def mincore_recorder(
             batches.append(fresh)
 
     while not done.triggered:
+        # procfs.rss_pages charges its poll cost, then reads the RSS.
+        publish(env.now + params.procfs_poll_us)
         rss = yield from procfs.rss_pages()
         if rss - rss_at_last_scan >= group_pages:
             yield from scan()
             rss_at_last_scan = rss
         if done.triggered:
             break
+        publish(env.now + poll_interval_us + params.procfs_poll_us)
         yield env.timeout(poll_interval_us)
 
+    publish(float("inf"))
     yield from scan()
     return WorkingSetGroups.from_batches(batches, group_pages=group_pages)

@@ -42,22 +42,30 @@ class Cell:
 
 @dataclass
 class Grid:
-    """A collection of cells with lookup helpers."""
+    """A collection of cells with lookup helpers.
+
+    ``get`` is indexed by (function, policy) — figures with hundreds
+    of cells (the sensitivity sweeps) look cells up per rendered
+    point, which was quadratic with a linear scan.
+    """
 
     cells: List[Cell] = field(default_factory=list)
+    _index: Dict[Tuple[str, Policy], List[Cell]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def add(self, cell: Cell) -> None:
         self.cells.append(cell)
+        self._index.setdefault((cell.function, cell.policy), []).append(cell)
 
     def get(
         self, function: str, policy: Policy, **matchers
     ) -> Cell:
+        bucket = self._index.get((function, policy), [])
         matches = [
             c
-            for c in self.cells
-            if c.function == function
-            and c.policy is policy
-            and all(
+            for c in bucket
+            if all(
                 getattr(c.test_input, key) == value
                 for key, value in matchers.items()
             )

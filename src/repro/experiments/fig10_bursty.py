@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.policies import Policy
 from repro.core.restore import PlatformConfig
 from repro.experiments.common import fresh_platform
+from repro.experiments.runner import parallel_map
 from repro.metrics.report import render_table
 from repro.metrics.stats import mean, stddev
 from repro.workloads.base import INPUT_A
@@ -47,10 +48,49 @@ class Fig10Result:
     functions: Tuple[str, ...] = DEFAULT_FUNCTIONS
 
 
+def _run_curve(
+    payload: Tuple[PlatformConfig, str, str, Tuple[int, ...]],
+) -> Dict[BurstKey, BurstPoint]:
+    """One (mode, function) curve on its own platform (pool worker).
+
+    A fresh platform per curve keeps snapshot files and cache state
+    independent across curves — which is also what makes the curves
+    safe to fan out.
+    """
+    config, name, mode, parallelisms = payload
+    platform, handles = fresh_platform(config, functions=(name,))
+    clones = (
+        platform.make_clones(handles[name], max(parallelisms))
+        if mode == "diff"
+        else None
+    )
+    test_input = get_profile(name).input_b()
+    points: Dict[BurstKey, BurstPoint] = {}
+    for policy in POLICIES:
+        for parallelism in parallelisms:
+            results = platform.invoke_burst(
+                handles[name],
+                test_input,
+                policy,
+                parallelism=parallelism,
+                same_snapshot=(mode == "same"),
+                record_input=INPUT_A,
+                clones=clones,
+            )
+            totals = [r.total_ms for r in results]
+            points[(name, mode, policy, parallelism)] = BurstPoint(
+                mean_ms=mean(totals),
+                std_ms=stddev(totals),
+                max_ms=max(totals),
+            )
+    return points
+
+
 def run(
     config: Optional[PlatformConfig] = None,
     functions: Sequence[str] = DEFAULT_FUNCTIONS,
     parallelisms: Sequence[int] = DEFAULT_PARALLELISMS,
+    jobs: Optional[int] = None,
 ) -> Fig10Result:
     if config is None:
         config = PlatformConfig()
@@ -59,36 +99,13 @@ def run(
     result = Fig10Result(
         parallelisms=tuple(parallelisms), functions=tuple(functions)
     )
-    for mode in ("same", "diff"):
-        for name in functions:
-            # A fresh platform per (mode, function) keeps snapshot
-            # files and cache state independent across curves.
-            platform, handles = fresh_platform(config, functions=(name,))
-            clones = (
-                platform.make_clones(handles[name], max(parallelisms))
-                if mode == "diff"
-                else None
-            )
-            test_input = get_profile(name).input_b()
-            for policy in POLICIES:
-                for parallelism in parallelisms:
-                    results = platform.invoke_burst(
-                        handles[name],
-                        test_input,
-                        policy,
-                        parallelism=parallelism,
-                        same_snapshot=(mode == "same"),
-                        record_input=INPUT_A,
-                        clones=clones,
-                    )
-                    totals = [r.total_ms for r in results]
-                    result.points[(name, mode, policy, parallelism)] = (
-                        BurstPoint(
-                            mean_ms=mean(totals),
-                            std_ms=stddev(totals),
-                            max_ms=max(totals),
-                        )
-                    )
+    payloads = [
+        (config, name, mode, tuple(parallelisms))
+        for mode in ("same", "diff")
+        for name in functions
+    ]
+    for points in parallel_map(_run_curve, payloads, jobs):
+        result.points.update(points)
     return result
 
 

@@ -14,7 +14,8 @@ from typing import List, Optional, Sequence
 
 from repro.core.policies import Policy
 from repro.core.restore import PlatformConfig
-from repro.experiments.common import Grid, fresh_platform, measure
+from repro.experiments.common import Grid
+from repro.experiments.runner import CellSpec, measure_cells
 from repro.metrics.report import render_table
 from repro.metrics.stats import geometric_mean
 from repro.workloads.base import INPUT_A
@@ -37,24 +38,23 @@ class Fig11Result:
 def run(
     config: Optional[PlatformConfig] = None,
     functions: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
 ) -> Fig11Result:
     functions = tuple(functions or BENCHMARK_FUNCTIONS)
-    platform, handles = fresh_platform(
-        config, remote_storage=True, functions=functions
-    )
+    # Variable-input functions test with input B, as in Figure 6;
+    # the synthetics reuse input A.
+    specs = [
+        CellSpec(
+            name, policy, get_profile(name).input_b(), record_input=INPUT_A
+        )
+        for name in functions
+        for policy in POLICIES
+    ]
     grid = Grid()
-    for name in functions:
-        profile = get_profile(name)
-        # Variable-input functions test with input B, as in Figure 6;
-        # the synthetics reuse input A.
-        test_input = profile.input_b()
-        for policy in POLICIES:
-            grid.add(
-                measure(
-                    platform, handles[name], policy, test_input,
-                    record_input=INPUT_A,
-                )
-            )
+    for cell in measure_cells(
+        specs, config, remote_storage=True, jobs=jobs
+    ):
+        grid.add(cell)
     return Fig11Result(grid=grid, functions=functions)
 
 

@@ -13,13 +13,8 @@ from typing import List, Optional, Sequence
 
 from repro.core.policies import Policy
 from repro.core.restore import PlatformConfig
-from repro.experiments.common import (
-    DIFF_CONTENT_ID,
-    Cell,
-    Grid,
-    fresh_platform,
-    measure,
-)
+from repro.experiments.common import DIFF_CONTENT_ID, Cell, Grid
+from repro.experiments.runner import CellSpec, measure_cells
 from repro.metrics.report import render_table
 from repro.workloads.base import INPUT_A, InputSpec
 
@@ -35,28 +30,32 @@ class Fig1Result:
 def run(
     config: Optional[PlatformConfig] = None,
     functions: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
 ) -> Fig1Result:
     """Measure the Figure 1 matrix. ``image-diff`` is image invoked
     with different same-sized content than its record phase."""
     functions = list(functions or FUNCTIONS)
-    platform, handles = fresh_platform(config, functions=tuple(functions))
-    grid = Grid()
+    specs: List[CellSpec] = []
     for name in functions:
         for policy in POLICIES:
-            grid.add(measure(platform, handles[name], policy, INPUT_A))
+            specs.append(CellSpec(name, policy, INPUT_A))
+    renames = {}
     if "image" in functions:
         image_diff = InputSpec(content_id=DIFF_CONTENT_ID, size_ratio=1.0)
         for policy in POLICIES:
-            cell = measure(platform, handles["image"], policy, image_diff)
-            grid.add(
-                Cell(
-                    function="image-diff",
-                    policy=cell.policy,
-                    test_input=cell.test_input,
-                    record_input=cell.record_input,
-                    result=cell.result,
-                )
+            renames[len(specs)] = "image-diff"
+            specs.append(CellSpec("image", policy, image_diff))
+    grid = Grid()
+    for index, cell in enumerate(measure_cells(specs, config, jobs=jobs)):
+        if index in renames:
+            cell = Cell(
+                function=renames[index],
+                policy=cell.policy,
+                test_input=cell.test_input,
+                record_input=cell.record_input,
+                result=cell.result,
             )
+        grid.add(cell)
     return Fig1Result(grid=grid)
 
 

@@ -13,7 +13,8 @@ from typing import Dict, List, Optional
 
 from repro.core.policies import Policy
 from repro.core.restore import PlatformConfig
-from repro.experiments.common import DIFF_CONTENT_ID, fresh_platform, measure
+from repro.experiments.common import DIFF_CONTENT_ID
+from repro.experiments.runner import CellSpec, measure_cells
 from repro.host.fault import FaultKind
 from repro.metrics.report import render_table
 from repro.metrics.stats import Histogram, fault_time_histogram, mean
@@ -37,7 +38,9 @@ class Fig2Result:
 
 
 def run(
-    config: Optional[PlatformConfig] = None, jitter: float = 0.6
+    config: Optional[PlatformConfig] = None,
+    jitter: float = 0.6,
+    jobs: Optional[int] = None,
 ) -> Fig2Result:
     """Measure the Figure 2 distributions.
 
@@ -53,11 +56,11 @@ def run(
             config,
             host=config.host.with_overrides(fault_jitter_fraction=jitter),
         )
-    platform, handles = fresh_platform(config, functions=("image",))
     image_diff = InputSpec(content_id=DIFF_CONTENT_ID, size_ratio=1.0)
+    specs = [CellSpec("image", policy, image_diff) for policy in POLICIES]
+    cells = measure_cells(specs, config, jobs=jobs)
     systems: Dict[Policy, SystemFaults] = {}
-    for policy in POLICIES:
-        cell = measure(platform, handles["image"], policy, image_diff)
+    for policy, cell in zip(POLICIES, cells):
         durations = [
             r.duration_us
             for r in cell.result.fault_records

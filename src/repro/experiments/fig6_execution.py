@@ -12,7 +12,8 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.policies import MAIN_POLICIES, Policy
 from repro.core.restore import PlatformConfig
-from repro.experiments.common import Grid, fresh_platform, measure
+from repro.experiments.common import Grid
+from repro.experiments.runner import CellSpec, measure_cells
 from repro.metrics.report import render_table
 from repro.metrics.stats import geometric_mean
 from repro.workloads.base import INPUT_A
@@ -39,31 +40,24 @@ class Fig6Result:
 def run(
     config: Optional[PlatformConfig] = None,
     functions: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
 ) -> Fig6Result:
     functions = tuple(functions or VARIABLE_INPUT_FUNCTIONS)
-    platform, handles = fresh_platform(config, functions=functions)
-    grids = {"A->B": Grid(), "B->A": Grid()}
+    specs: List[CellSpec] = []
     for name in functions:
         input_b = get_profile(name).input_b()
         for policy in MAIN_POLICIES:
-            grids["A->B"].add(
-                measure(
-                    platform,
-                    handles[name],
-                    policy,
-                    input_b,
-                    record_input=INPUT_A,
-                )
+            specs.append(
+                CellSpec(name, policy, input_b, record_input=INPUT_A)
             )
-            grids["B->A"].add(
-                measure(
-                    platform,
-                    handles[name],
-                    policy,
-                    INPUT_A,
-                    record_input=input_b,
-                )
+            specs.append(
+                CellSpec(name, policy, INPUT_A, record_input=input_b)
             )
+    cells = measure_cells(specs, config, jobs=jobs)
+    grids = {"A->B": Grid(), "B->A": Grid()}
+    for spec, cell in zip(specs, cells):
+        direction = "A->B" if spec.record_input == INPUT_A else "B->A"
+        grids[direction].add(cell)
     return Fig6Result(grids=grids)
 
 

@@ -11,7 +11,8 @@ from typing import List, Optional, Sequence
 
 from repro.core.policies import MAIN_POLICIES
 from repro.core.restore import PlatformConfig
-from repro.experiments.common import Grid, fresh_platform, measure
+from repro.experiments.common import Grid
+from repro.experiments.runner import CellSpec, measure_cells
 from repro.metrics.report import render_table
 from repro.workloads.base import INPUT_A
 from repro.workloads.registry import SYNTHETIC_FUNCTIONS
@@ -25,13 +26,17 @@ class Fig7Result:
 def run(
     config: Optional[PlatformConfig] = None,
     functions: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
 ) -> Fig7Result:
     functions = tuple(functions or SYNTHETIC_FUNCTIONS)
-    platform, handles = fresh_platform(config, functions=functions)
+    specs = [
+        CellSpec(name, policy, INPUT_A)
+        for name in functions
+        for policy in MAIN_POLICIES
+    ]
     grid = Grid()
-    for name in functions:
-        for policy in MAIN_POLICIES:
-            grid.add(measure(platform, handles[name], policy, INPUT_A))
+    for cell in measure_cells(specs, config, jobs=jobs):
+        grid.add(cell)
     return Fig7Result(grid=grid)
 
 

@@ -13,12 +13,8 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.core.policies import MAIN_POLICIES, Policy
 from repro.core.restore import PlatformConfig
-from repro.experiments.common import (
-    DIFF_CONTENT_ID,
-    Grid,
-    fresh_platform,
-    measure,
-)
+from repro.experiments.common import DIFF_CONTENT_ID, Grid
+from repro.experiments.runner import CellSpec, measure_cells
 from repro.metrics.report import render_table
 from repro.workloads.base import INPUT_A, InputSpec
 from repro.workloads.registry import VARIABLE_INPUT_FUNCTIONS
@@ -49,25 +45,23 @@ def run(
     config: Optional[PlatformConfig] = None,
     functions: Optional[Sequence[str]] = None,
     ratios: Sequence[float] = DEFAULT_RATIOS,
+    jobs: Optional[int] = None,
 ) -> Fig8Result:
     functions = tuple(functions or VARIABLE_INPUT_FUNCTIONS)
-    platform, handles = fresh_platform(config, functions=functions)
+    specs = [
+        CellSpec(
+            name,
+            policy,
+            InputSpec(content_id=DIFF_CONTENT_ID, size_ratio=ratio),
+            record_input=INPUT_A,
+        )
+        for name in functions
+        for ratio in ratios
+        for policy in MAIN_POLICIES
+    ]
     grid = Grid()
-    for name in functions:
-        for ratio in ratios:
-            test_input = InputSpec(
-                content_id=DIFF_CONTENT_ID, size_ratio=ratio
-            )
-            for policy in MAIN_POLICIES:
-                grid.add(
-                    measure(
-                        platform,
-                        handles[name],
-                        policy,
-                        test_input,
-                        record_input=INPUT_A,
-                    )
-                )
+    for cell in measure_cells(specs, config, jobs=jobs):
+        grid.add(cell)
     return Fig8Result(grid=grid, ratios=tuple(ratios))
 
 

@@ -15,7 +15,8 @@ from typing import Dict, List, Optional
 
 from repro.core.policies import ABLATION_POLICIES, Policy
 from repro.core.restore import PlatformConfig
-from repro.experiments.common import DIFF_CONTENT_ID, fresh_platform, measure
+from repro.experiments.common import DIFF_CONTENT_ID
+from repro.experiments.runner import CellSpec, measure_cells
 from repro.metrics.report import render_table
 from repro.workloads.base import INPUT_A, InputSpec
 
@@ -44,15 +45,18 @@ class Fig9Result:
 
 
 def run(
-    config: Optional[PlatformConfig] = None, function: str = FUNCTION
+    config: Optional[PlatformConfig] = None,
+    function: str = FUNCTION,
+    jobs: Optional[int] = None,
 ) -> Fig9Result:
-    platform, handles = fresh_platform(config, functions=(function,))
     test_input = InputSpec(content_id=DIFF_CONTENT_ID, size_ratio=1.0)
+    specs = [
+        CellSpec(function, policy, test_input, record_input=INPUT_A)
+        for policy in ABLATION_POLICIES
+    ]
+    cells = measure_cells(specs, config, jobs=jobs)
     steps: Dict[Policy, AblationStep] = {}
-    for policy in ABLATION_POLICIES:
-        cell = measure(
-            platform, handles[function], policy, test_input, record_input=INPUT_A
-        )
+    for policy, cell in zip(ABLATION_POLICIES, cells):
         result = cell.result
         steps[policy] = AblationStep(
             policy=policy,

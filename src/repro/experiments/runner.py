@@ -1,0 +1,135 @@
+"""Parallel experiment runner.
+
+Every figure is a grid of independent *cells* — (function, policy,
+input) combinations, each simulated on its own platform state after a
+``drop_caches``. The runner exploits that independence: cells are
+grouped into **shards** that share a record artifact (same function,
+same record input, same sanitize family), each shard runs on a fresh
+platform, and shards fan out across a :mod:`multiprocessing` pool.
+
+Determinism is by construction, not by luck: the serial path
+(``jobs=1``) evaluates exactly the same shards on exactly the same
+fresh platforms in exactly the same per-shard order as the parallel
+path — only the wall-clock interleaving differs — and the merged cell
+list is reassembled in the caller's original spec order. So
+``jobs=1`` and ``jobs=N`` produce bit-identical results (the
+golden-parity tests machine-check this).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.policies import Policy
+from repro.core.restore import PlatformConfig
+from repro.experiments.common import Cell, fresh_platform, measure
+from repro.workloads.base import INPUT_A, InputSpec
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """A cell to measure: what :func:`repro.experiments.common.measure`
+    takes, minus the platform."""
+
+    function: str
+    policy: Policy
+    test_input: InputSpec
+    record_input: InputSpec = INPUT_A
+
+
+#: A shard shares one record artifact: the platform's ``ensure_record``
+#: caches per (function, record input, sanitize family), so cells in
+#: the same shard pay the record phase once, exactly like the old
+#: one-platform-per-figure loop did.
+ShardKey = Tuple[str, InputSpec, bool]
+
+
+def shard_key(spec: CellSpec) -> ShardKey:
+    return (
+        spec.function,
+        spec.record_input,
+        spec.policy.is_faasnap_family,
+    )
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``--jobs`` value: None/0/1 mean serial, negative
+    means one worker per CPU."""
+    if jobs is None or jobs == 0:
+        return 1
+    if jobs < 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def parallel_map(
+    worker: Callable[[Any], Any],
+    items: Sequence[Any],
+    jobs: Optional[int] = None,
+) -> List[Any]:
+    """Order-preserving map over ``items``.
+
+    Serial when ``jobs`` resolves to 1; otherwise fans out over a
+    fork-based process pool. ``worker`` must be a module-level
+    callable and ``items`` picklable. Results come back in input
+    order regardless of completion order.
+    """
+    njobs = resolve_jobs(jobs)
+    if njobs <= 1 or len(items) <= 1:
+        return [worker(item) for item in items]
+    import multiprocessing
+
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        return [worker(item) for item in items]
+    with context.Pool(processes=min(njobs, len(items))) as pool:
+        return pool.map(worker, items)
+
+
+def _run_shard(
+    payload: Tuple[Optional[PlatformConfig], bool, List[Tuple[int, CellSpec]]],
+) -> List[Tuple[int, Cell]]:
+    """Evaluate one shard on a fresh platform (pool worker)."""
+    config, remote_storage, indexed_specs = payload
+    functions = []
+    for _, spec in indexed_specs:
+        if spec.function not in functions:
+            functions.append(spec.function)
+    platform, handles = fresh_platform(
+        config, remote_storage, tuple(functions)
+    )
+    out: List[Tuple[int, Cell]] = []
+    for index, spec in indexed_specs:
+        cell = measure(
+            platform,
+            handles[spec.function],
+            spec.policy,
+            spec.test_input,
+            record_input=spec.record_input,
+        )
+        out.append((index, cell))
+    return out
+
+
+def measure_cells(
+    specs: Sequence[CellSpec],
+    config: Optional[PlatformConfig] = None,
+    remote_storage: bool = False,
+    jobs: Optional[int] = None,
+) -> List[Cell]:
+    """Measure every spec, sharded by record artifact, optionally in
+    parallel. Returns cells in the order of ``specs``."""
+    shards: Dict[ShardKey, List[Tuple[int, CellSpec]]] = {}
+    for index, spec in enumerate(specs):
+        shards.setdefault(shard_key(spec), []).append((index, spec))
+    payloads = [
+        (config, remote_storage, indexed) for indexed in shards.values()
+    ]
+    results: List[Optional[Cell]] = [None] * len(specs)
+    for shard_result in parallel_map(_run_shard, payloads, jobs):
+        for index, cell in shard_result:
+            results[index] = cell
+    return results  # type: ignore[return-value]

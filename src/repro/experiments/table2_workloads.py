@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from repro.experiments.runner import parallel_map
 from repro.metrics.report import render_table
 from repro.workloads.base import INPUT_A, generate_trace
 from repro.workloads.registry import BENCHMARK_FUNCTIONS, get_profile
@@ -30,23 +31,26 @@ class Table2Result:
     rows: List[Table2Row]
 
 
-def run(functions: Optional[Sequence[str]] = None) -> Table2Result:
-    rows = []
-    for name in functions or BENCHMARK_FUNCTIONS:
-        profile = get_profile(name)
-        trace_a = generate_trace(profile, INPUT_A)
-        trace_b = generate_trace(profile, profile.input_b())
-        rows.append(
-            Table2Row(
-                function=name,
-                description=profile.description,
-                ws_a_mb=trace_a.working_set_mb,
-                ws_b_mb=trace_b.working_set_mb,
-                paper_ws_a_mb=profile.ws_a_mb,
-                paper_ws_b_mb=profile.ws_b_mb,
-            )
-        )
-    return Table2Result(rows=rows)
+def _row_for(name: str) -> Table2Row:
+    profile = get_profile(name)
+    trace_a = generate_trace(profile, INPUT_A)
+    trace_b = generate_trace(profile, profile.input_b())
+    return Table2Row(
+        function=name,
+        description=profile.description,
+        ws_a_mb=trace_a.working_set_mb,
+        ws_b_mb=trace_b.working_set_mb,
+        paper_ws_a_mb=profile.ws_a_mb,
+        paper_ws_b_mb=profile.ws_b_mb,
+    )
+
+
+def run(
+    functions: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
+) -> Table2Result:
+    names = list(functions or BENCHMARK_FUNCTIONS)
+    return Table2Result(rows=parallel_map(_row_for, names, jobs))
 
 
 def format_table(result: Table2Result) -> str:

@@ -12,7 +12,7 @@ from typing import List, Optional, Sequence
 
 from repro.core.policies import Policy
 from repro.core.restore import PlatformConfig
-from repro.experiments.common import fresh_platform, measure
+from repro.experiments.runner import CellSpec, measure_cells
 from repro.metrics.report import render_table
 from repro.workloads.base import INPUT_A
 from repro.workloads.registry import get_profile
@@ -46,27 +46,29 @@ class Table3Result:
 def run(
     config: Optional[PlatformConfig] = None,
     functions: Sequence[str] = FUNCTIONS,
+    jobs: Optional[int] = None,
 ) -> Table3Result:
-    platform, handles = fresh_platform(config, functions=tuple(functions))
+    specs = [
+        CellSpec(
+            name, policy, get_profile(name).input_b(), record_input=INPUT_A
+        )
+        for name in functions
+        for policy in POLICIES
+    ]
     rows: List[Table3Row] = []
-    for name in functions:
-        input_b = get_profile(name).input_b()
-        for policy in POLICIES:
-            cell = measure(
-                platform, handles[name], policy, input_b, record_input=INPUT_A
+    for spec, cell in zip(specs, measure_cells(specs, config, jobs=jobs)):
+        result = cell.result
+        rows.append(
+            Table3Row(
+                system=spec.policy,
+                function=spec.function,
+                total_ms=result.total_ms,
+                fetch_ms=result.fetch_time_us / 1000.0,
+                fetch_mb=result.fetch_bytes / 1e6,
+                guest_fault_mb=result.guest_fault_bytes / 1e6,
+                fault_wait_ms=result.fault_time_us / 1000.0,
             )
-            result = cell.result
-            rows.append(
-                Table3Row(
-                    system=policy,
-                    function=name,
-                    total_ms=result.total_ms,
-                    fetch_ms=result.fetch_time_us / 1000.0,
-                    fetch_mb=result.fetch_bytes / 1e6,
-                    guest_fault_mb=result.guest_fault_bytes / 1e6,
-                    fault_wait_ms=result.fault_time_us / 1000.0,
-                )
-            )
+        )
     return Table3Result(rows=rows)
 
 

@@ -22,11 +22,12 @@ temporarily populates the page cache.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.daemon import FaaSnapPlatform
 from repro.core.policies import Policy
 from repro.core.restore import PlatformConfig
+from repro.experiments.runner import parallel_map
 from repro.workloads.base import INPUT_A, InputSpec
 from repro.workloads.registry import get_profile
 
@@ -101,3 +102,35 @@ class CostModel:
         )
         self._cache[key] = costs
         return costs
+
+    def precompute(
+        self,
+        pairs: Iterable[Tuple[str, Policy]],
+        jobs: Optional[int] = None,
+    ) -> List[FunctionCosts]:
+        """Measure many (profile, policy) pairs up front, optionally in
+        parallel, and seed the cache.
+
+        Each pair is measured on its own fresh platform in both the
+        serial and the parallel path, so ``jobs=1`` and ``jobs=N``
+        produce identical costs. Pairs already cached are skipped.
+        """
+        todo = [
+            (name, policy)
+            for name, policy in dict.fromkeys(pairs)
+            if (name, policy) not in self._cache
+        ]
+        payloads = [(self.config, name, policy) for name, policy in todo]
+        measured = parallel_map(_measure_pair, payloads, jobs)
+        for costs in measured:
+            self._cache[(costs.profile_name, costs.policy)] = costs
+        return measured
+
+
+def _measure_pair(
+    payload: Tuple[PlatformConfig, str, Policy],
+) -> FunctionCosts:
+    """Measure one (profile, policy) pair on a fresh platform
+    (module-level so the process pool can pickle it)."""
+    config, profile_name, policy = payload
+    return CostModel(config).costs(profile_name, policy)

@@ -16,16 +16,97 @@ simulation:
 An optional capacity bound evicts in LRU order; the paper's host has
 192 GB of memory so the experiments never evict, but the policy is
 implemented and tested for completeness.
+
+Residency is stored one of two ways, chosen at construction:
+
+* **Unbounded** (``capacity_pages=None``, the experiments' setting):
+  per-file sorted runs of half-open intervals. Snapshot working sets
+  are large and mostly contiguous — loaders, readahead windows and
+  sequential scans insert neighbouring pages — so a megabyte of
+  residency collapses to a handful of ``[start, end)`` boundary pairs
+  instead of hundreds of thousands of set entries, and
+  :meth:`insert_range` merges a whole window in one splice.
+* **Bounded**: the classic ``OrderedDict`` LRU, unchanged, since
+  eviction needs per-page recency.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.sim import Environment, Event, SimulationError
 
 PageKey = Tuple[str, int]
+
+
+class _IntervalRuns:
+    """Sorted, disjoint, non-adjacent half-open runs of page indices."""
+
+    __slots__ = ("starts", "ends", "count")
+
+    def __init__(self) -> None:
+        self.starts: List[int] = []
+        self.ends: List[int] = []
+        self.count = 0
+
+    def contains(self, page: int) -> bool:
+        index = bisect_right(self.starts, page) - 1
+        return index >= 0 and page < self.ends[index]
+
+    def add_range(self, start: int, end: int) -> List[Tuple[int, int]]:
+        """Mark ``[start, end)`` resident.
+
+        Returns the sub-ranges that were newly inserted, in ascending
+        order — exactly the pages a per-page loop would have inserted,
+        so callers can maintain insertion logs and counters
+        identically.
+        """
+        starts, ends = self.starts, self.ends
+        # Fast path: at or past the tail run — the common shape for
+        # loaders, readahead windows and sequential scans.
+        if starts and start >= ends[-1]:
+            if start == ends[-1]:
+                ends[-1] = end
+            else:
+                starts.append(start)
+                ends.append(end)
+            self.count += end - start
+            return [(start, end)]
+        # Runs that overlap or are adjacent to [start, end): the first
+        # whose end reaches start, through the last whose start is at
+        # most end (end == run.start is adjacency — merge to keep the
+        # run list canonical).
+        low = bisect_left(ends, start)
+        high = bisect_right(starts, end) - 1
+        if low > high:
+            starts.insert(low, start)
+            ends.insert(low, end)
+            self.count += end - start
+            return [(start, end)]
+        gaps: List[Tuple[int, int]] = []
+        cursor = start
+        for k in range(low, high + 1):
+            run_start = starts[k]
+            if run_start > cursor:
+                gaps.append((cursor, min(run_start, end)))
+            if ends[k] > cursor:
+                cursor = ends[k]
+        if cursor < end:
+            gaps.append((cursor, end))
+        merged_start = min(start, starts[low])
+        merged_end = max(end, ends[high])
+        starts[low : high + 1] = [merged_start]
+        ends[low : high + 1] = [merged_end]
+        self.count += sum(e - s for s, e in gaps)
+        return gaps
+
+    def pages(self) -> List[int]:
+        out: List[int] = []
+        for start, end in zip(self.starts, self.ends):
+            out.extend(range(start, end))
+        return out
 
 
 class PageCache:
@@ -36,7 +117,10 @@ class PageCache:
             raise SimulationError("page cache capacity must be >= 1 or None")
         self.env = env
         self.capacity_pages = capacity_pages
+        #: Bounded mode storage (LRU); unused when unbounded.
         self._present: "OrderedDict[PageKey, None]" = OrderedDict()
+        #: Unbounded mode storage: file name -> interval runs.
+        self._runs: Dict[str, _IntervalRuns] = {}
         self._pending: Dict[PageKey, Event] = {}
         self.insertions = 0
         self.evictions = 0
@@ -47,11 +131,20 @@ class PageCache:
         #: the simulated clock.
         self._insertion_log: Dict[str, List[int]] = {}
 
+    @property
+    def _unbounded(self) -> bool:
+        return self.capacity_pages is None
+
     def __len__(self) -> int:
+        if self._unbounded:
+            return sum(runs.count for runs in self._runs.values())
         return len(self._present)
 
     def contains(self, file_name: str, page_index: int) -> bool:
         """True if the page is resident (touches LRU recency)."""
+        if self._unbounded:
+            runs = self._runs.get(file_name)
+            return runs is not None and runs.contains(page_index)
         key = (file_name, page_index)
         if key in self._present:
             self._present.move_to_end(key)
@@ -60,10 +153,60 @@ class PageCache:
 
     def peek(self, file_name: str, page_index: int) -> bool:
         """Residency check without touching LRU recency (mincore)."""
+        if self._unbounded:
+            runs = self._runs.get(file_name)
+            return runs is not None and runs.contains(page_index)
         return (file_name, page_index) in self._present
 
     def insert(self, file_name: str, page_index: int) -> None:
         """Mark a page resident; completes any pending read on it."""
+        self.insert_range(file_name, page_index, 1)
+
+    def insert_range(self, file_name: str, start_page: int, npages: int) -> None:
+        """Mark ``npages`` consecutive pages resident."""
+        if self._unbounded:
+            self._insert_range_runs(file_name, start_page, npages)
+            return
+        for i in range(start_page, start_page + npages):
+            self._insert_lru(file_name, i)
+
+    def _insert_range_runs(
+        self, file_name: str, start_page: int, npages: int
+    ) -> None:
+        end_page = start_page + npages
+        # Complete pending reads in the range regardless of residency,
+        # in ascending page order (succeed() order feeds the event
+        # heap's tie-breaking sequence). Iterate whichever of the
+        # pending map and the range is smaller.
+        pending_map = self._pending
+        if pending_map:
+            if len(pending_map) < npages:
+                hits = sorted(
+                    key
+                    for key in pending_map
+                    if key[0] == file_name and start_page <= key[1] < end_page
+                )
+                for key in hits:
+                    pending = pending_map.pop(key)
+                    if not pending.triggered:
+                        pending.succeed()
+            else:
+                for page in range(start_page, end_page):
+                    pending = pending_map.pop((file_name, page), None)
+                    if pending is not None and not pending.triggered:
+                        pending.succeed()
+        runs = self._runs.get(file_name)
+        if runs is None:
+            runs = self._runs[file_name] = _IntervalRuns()
+        fresh = runs.add_range(start_page, end_page)
+        if not fresh:
+            return
+        log = self._insertion_log.setdefault(file_name, [])
+        for gap_start, gap_end in fresh:
+            self.insertions += gap_end - gap_start
+            log.extend(range(gap_start, gap_end))
+
+    def _insert_lru(self, file_name: str, page_index: int) -> None:
         key = (file_name, page_index)
         pending = self._pending.pop(key, None)
         if pending is not None and not pending.triggered:
@@ -79,11 +222,6 @@ class PageCache:
                 self._present.popitem(last=False)
                 self.evictions += 1
 
-    def insert_range(self, file_name: str, start_page: int, npages: int) -> None:
-        """Mark ``npages`` consecutive pages resident."""
-        for i in range(start_page, start_page + npages):
-            self.insert(file_name, i)
-
     def begin_pending(self, file_name: str, page_index: int) -> Event:
         """Announce an in-flight read for the page.
 
@@ -92,7 +230,7 @@ class PageCache:
         existing event.
         """
         key = (file_name, page_index)
-        if key in self._present:
+        if self.peek(file_name, page_index):
             raise SimulationError(f"begin_pending on resident page {key}")
         existing = self._pending.get(key)
         if existing is not None:
@@ -116,6 +254,9 @@ class PageCache:
         """Evict every resident page of ``file_name`` (drop_caches for
         one file, as the paper does between test runs, §6.1).
         Pending reads are unaffected."""
+        if self._unbounded:
+            runs = self._runs.pop(file_name, None)
+            return runs.count if runs is not None else 0
         victims = [key for key in self._present if key[0] == file_name]
         for key in victims:
             del self._present[key]
@@ -123,19 +264,35 @@ class PageCache:
 
     def drop_all(self) -> int:
         """Evict everything (echo 3 > /proc/sys/vm/drop_caches)."""
+        if self._unbounded:
+            count = sum(runs.count for runs in self._runs.values())
+            self._runs.clear()
+            return count
         count = len(self._present)
         self._present.clear()
         return count
 
     def pages_for_file(self, file_name: str) -> List[int]:
         """Sorted resident page indices of ``file_name``."""
+        if self._unbounded:
+            runs = self._runs.get(file_name)
+            return runs.pages() if runs is not None else []
         return sorted(p for f, p in self._present if f == file_name)
 
     def count_for_file(self, file_name: str) -> int:
+        if self._unbounded:
+            runs = self._runs.get(file_name)
+            return runs.count if runs is not None else 0
         return sum(1 for f, _ in self._present if f == file_name)
 
     def resident_set(self) -> Set[PageKey]:
         """Snapshot of all resident pages (for assertions)."""
+        if self._unbounded:
+            return {
+                (name, page)
+                for name, runs in self._runs.items()
+                for page in runs.pages()
+            }
         return set(self._present)
 
     def insertion_log(self, file_name: str) -> List[int]:
@@ -147,6 +304,17 @@ class PageCache:
     def warm_file(self, file_name: str, pages: Iterable[int]) -> None:
         """Instantly mark pages resident without I/O — used only to
         construct the paper's impractical-but-useful *Cached* baseline
-        (§3.1) and warm starts."""
+        (§3.1) and warm starts. Consecutive pages collapse into range
+        insertions (a whole memory file is one or a few runs)."""
+        run_start: Optional[int] = None
+        run_end = 0
         for page in pages:
-            self.insert(file_name, page)
+            if run_start is None:
+                run_start, run_end = page, page + 1
+            elif page == run_end:
+                run_end += 1
+            else:
+                self.insert_range(file_name, run_start, run_end - run_start)
+                run_start, run_end = page, page + 1
+        if run_start is not None:
+            self.insert_range(file_name, run_start, run_end - run_start)

@@ -57,23 +57,49 @@ class ReadaheadPolicy:
                 return min(window_size * 2, self.params.readahead_max_pages)
         return base
 
+    def plan(
+        self, file: StoredFile, cache: PageCache, fault_page: int
+    ) -> Tuple[List[int], int]:
+        """Compute the window for a fault on ``fault_page`` without
+        committing the per-file stream state: the faulting page plus
+        forward neighbours, stopping at the file end, the window
+        limit, or the first resident/in-flight page. Returns
+        ``(pages, window_size)``; pass both to :meth:`commit` once the
+        read is actually issued."""
+        name = file.name
+        size = self.next_window_size(name, fault_page)
+        pages: List[int] = [fault_page]
+        limit = min(file.num_pages, fault_page + size)
+        pending = cache._pending
+        if cache.capacity_pages is None:
+            runs = cache._runs.get(name)
+            for page in range(fault_page + 1, limit):
+                if (runs is not None and runs.contains(page)) or (
+                    (name, page) in pending
+                ):
+                    break
+                pages.append(page)
+        else:
+            present = cache._present
+            for page in range(fault_page + 1, limit):
+                if (name, page) in present or (name, page) in pending:
+                    break
+                pages.append(page)
+        return pages, size
+
+    def commit(
+        self, file_name: str, fault_page: int, pages: List[int], size: int
+    ) -> None:
+        """Record the issued window in the sequential-stream state."""
+        self._streams[file_name] = (fault_page + len(pages), size)
+
     def window(
         self, file: StoredFile, cache: PageCache, fault_page: int
     ) -> List[int]:
-        """File pages to read for a fault on ``fault_page``: the
-        faulting page plus forward neighbours, stopping at the file
-        end, the window limit, or the first resident/in-flight page."""
-        size = self.next_window_size(file.name, fault_page)
-        pages: List[int] = []
-        limit = min(file.num_pages, fault_page + size)
-        for page in range(fault_page, limit):
-            if page != fault_page and (
-                cache.peek(file.name, page)
-                or cache.pending_event(file.name, page) is not None
-            ):
-                break
-            pages.append(page)
-        self._streams[file.name] = (fault_page + len(pages), size)
+        """File pages to read for a fault on ``fault_page`` (plans and
+        commits in one step — the event-driven path)."""
+        pages, size = self.plan(file, cache, fault_page)
+        self.commit(file.name, fault_page, pages, size)
         return pages
 
     def fault_read(
@@ -94,6 +120,7 @@ class ReadaheadPolicy:
             for page in pages:
                 cache.abandon_pending(file.name, page)
             raise
-        for page in pages:
-            cache.insert(file.name, page)
+        # The window is contiguous: one range insertion instead of a
+        # per-page loop (completes the pending reads identically).
+        cache.insert_range(file.name, pages[0], len(pages))
         return len(pages)

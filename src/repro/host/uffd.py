@@ -26,6 +26,14 @@ from repro.sim import Environment, Event, SimulationError
 #: while producing it; it returns the content token to install.
 UffdHandler = Callable[[int], Generator[Event, Any, int]]
 
+#: Optional synchronous twin of a handler, for the fault fast path: it
+#: receives ``(page, now)`` and either returns ``(content, end_time,
+#: read_plan_or_None)`` priced on the virtual clock *without mutating
+#: any state*, or ``None`` when the fault can block (e.g. on an
+#: in-flight read) and must take the event-driven handler. Providers
+#: attach it as a ``fast`` attribute on the handler callable.
+UffdFastHandler = Callable[[int, float], Optional[tuple]]
+
 
 @dataclass
 class UffdRegistration:
@@ -34,6 +42,8 @@ class UffdRegistration:
     start: int
     npages: int
     handler: UffdHandler
+    #: Non-blocking twin used by the batching fast path, if any.
+    fast_handler: Optional[UffdFastHandler] = None
 
     @property
     def end(self) -> int:
@@ -62,7 +72,9 @@ class UserfaultfdManager:
         for existing in self._registrations:
             if start < existing.end and existing.start < start + npages:
                 raise SimulationError("overlapping uffd registrations")
-        registration = UffdRegistration(start, npages, handler)
+        registration = UffdRegistration(
+            start, npages, handler, getattr(handler, "fast", None)
+        )
         self._registrations.append(registration)
         return registration
 

@@ -105,6 +105,9 @@ class AddressSpace:
         self.anon_contents: Dict[int, int] = {}
         #: Number of mmap() calls issued (paper §4.6 counts these).
         self.mmap_calls = 0
+        #: Bumped whenever the VMA list changes; lets the fault
+        #: handler cache the last-resolved VMA safely.
+        self.version = 0
 
     # -- mapping ------------------------------------------------------
 
@@ -136,37 +139,66 @@ class AddressSpace:
         self._vmas.insert(index, vma)
         self._starts.insert(index, vma.start)
         self.mmap_calls += 1
+        self.version += 1
         # MAP_FIXED discards the old mapping, including installed PTEs
         # and any anonymous contents beneath.
-        for page in range(vma.start, vma.end):
-            self.pte.pop(page, None)
-            self.anon_contents.pop(page, None)
-            self.ept.discard(page)
+        self._discard_state(vma.start, vma.end)
         return vma
 
     def munmap(self, start: int, npages: int) -> None:
         """Unmap a range (splitting overlapping VMAs)."""
         self._carve(start, npages)
-        for page in range(start, start + npages):
-            self.pte.pop(page, None)
-            self.anon_contents.pop(page, None)
-            self.ept.discard(page)
+        self.version += 1
+        self._discard_state(start, start + npages)
+
+    def _discard_state(self, start: int, end: int) -> None:
+        """Drop PTEs, anonymous contents and EPT entries in a range,
+        iterating whichever side is smaller (restores map thousands of
+        regions over an address space whose state is still empty)."""
+        npages = end - start
+        for mapping in (self.pte, self.anon_contents):
+            if not mapping:
+                continue
+            if len(mapping) < npages:
+                for page in [p for p in mapping if start <= p < end]:
+                    del mapping[page]
+            else:
+                for page in range(start, end):
+                    mapping.pop(page, None)
+        ept = self.ept
+        if ept:
+            if len(ept) < npages:
+                ept.difference_update(
+                    [p for p in ept if start <= p < end]
+                )
+            else:
+                for page in range(start, end):
+                    ept.discard(page)
 
     def _carve(self, start: int, npages: int) -> None:
-        """Remove [start, start+npages) from existing VMAs."""
+        """Remove [start, start+npages) from existing VMAs, splicing
+        only the overlapping window instead of rebuilding the whole
+        (possibly thousands-long) region list."""
         end = start + npages
+        vmas = self._vmas
+        starts = self._starts
+        # First region that could overlap: the one covering ``start``
+        # if it extends past it, else the first starting after.
+        low = bisect.bisect_right(starts, start) - 1
+        if low < 0 or vmas[low].end <= start:
+            low += 1
+        # First region starting at or beyond ``end`` is untouched.
+        high = bisect.bisect_left(starts, end)
+        if low >= high:
+            return
         replacement: List[Vma] = []
-        for vma in self._vmas:
-            if vma.end <= start or vma.start >= end:
-                replacement.append(vma)
-                continue
+        for vma in vmas[low:high]:
             if vma.start < start:
                 replacement.append(vma._slice(vma.start, start - vma.start))
             if vma.end > end:
                 replacement.append(vma._slice(end, vma.end - end))
-        replacement.sort(key=lambda v: v.start)
-        self._vmas = replacement
-        self._starts = [v.start for v in replacement]
+        vmas[low:high] = replacement
+        starts[low:high] = [v.start for v in replacement]
 
     # -- lookup -------------------------------------------------------
 

@@ -14,7 +14,14 @@ simulation run is a pure function of its inputs.
 from __future__ import annotations
 
 import heapq
+from sys import getrefcount
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+#: Upper bound on pooled Timeout objects kept for reuse per
+#: environment. Big simulations churn through millions of timeouts;
+#: a small pool captures nearly all of the reuse without pinning
+#: memory after a burst.
+_TIMEOUT_POOL_MAX = 128
 
 
 class SimulationError(RuntimeError):
@@ -167,7 +174,12 @@ class Process(Event):
         if self._triggered:
             raise SimulationError(f"cannot interrupt finished process {self.name}")
         waiting = self._waiting_on
-        if waiting is not None and waiting.callbacks is not None:
+        # Detach from the awaited event so its eventual firing does
+        # not also resume the process. A processed event has already
+        # handed its callback list to the dispatcher, so there is
+        # nothing left to detach from (``callbacks`` itself is never
+        # None in this kernel).
+        if waiting is not None and not waiting.processed:
             try:
                 waiting.callbacks.remove(self._resume)
             except ValueError:
@@ -178,55 +190,65 @@ class Process(Event):
         poke.fail(Interrupt(cause))
 
     def _resume(self, event: Event) -> None:
-        self._waiting_on = None
-        try:
-            if event.ok:
-                target = self._generator.send(event.value)
-            else:
-                target = self._generator.throw(event.value)
-        except StopIteration as stop:
-            self._triggered = True
-            self._ok = True
-            self._value = stop.value
-            self.env._schedule(self, 0.0)
+        if self._triggered:
+            # A stale wakeup (e.g. an event that fired in the same
+            # instant the process was interrupted and finished) must
+            # not advance a closed generator.
             return
-        except Interrupt as exc:
-            self._triggered = True
-            self._ok = False
-            self._value = exc
-            self.env._schedule(self, 0.0)
-            return
-        except Exception as exc:
-            self._triggered = True
-            self._ok = False
-            self._value = exc
-            self.env._schedule(self, 0.0)
-            return
+        generator = self._generator
+        env = self.env
+        # Loop instead of recursing so a chain of already-processed
+        # targets (the immediate-dispatch fast path below) cannot
+        # overflow the Python stack.
+        while True:
+            self._waiting_on = None
+            try:
+                if event._ok:
+                    target = generator.send(event._value)
+                else:
+                    target = generator.throw(event._value)
+            except StopIteration as stop:
+                self._triggered = True
+                self._ok = True
+                self._value = stop.value
+                env._schedule(self, 0.0)
+                return
+            except Interrupt as exc:
+                self._triggered = True
+                self._ok = False
+                self._value = exc
+                env._schedule(self, 0.0)
+                return
+            except Exception as exc:
+                self._triggered = True
+                self._ok = False
+                self._value = exc
+                env._schedule(self, 0.0)
+                return
 
-        if not isinstance(target, Event):
-            exc = SimulationError(
-                f"process {self.name!r} yielded non-event {target!r}"
-            )
-            self._generator.close()
-            self._triggered = True
-            self._ok = False
-            self._value = exc
-            self.env._schedule(self, 0.0)
-            return
-        if target.env is not self.env:
-            raise SimulationError("cannot wait on an event from another environment")
-        self._waiting_on = target
-        if target.processed:
-            # Already fired: resume at the current instant.
-            poke = Event(self.env)
-            poke.callbacks.append(self._resume)
-            if target.ok:
-                poke.succeed(target.value)
-            else:
-                poke.fail(target.value)
-            self._waiting_on = poke
-        else:
+            if not isinstance(target, Event):
+                exc = SimulationError(
+                    f"process {self.name!r} yielded non-event {target!r}"
+                )
+                generator.close()
+                self._triggered = True
+                self._ok = False
+                self._value = exc
+                env._schedule(self, 0.0)
+                return
+            if target.env is not env:
+                raise SimulationError(
+                    "cannot wait on an event from another environment"
+                )
+            if target._processed:
+                # Immediate dispatch: the target already fired, so
+                # resume right away with its outcome instead of
+                # round-tripping a fresh poke event through the heap.
+                event = target
+                continue
+            self._waiting_on = target
             target.callbacks.append(self._resume)
+            return
 
 
 class AllOf(Event):
@@ -269,24 +291,36 @@ class AllOf(Event):
 class AnyOf(Event):
     """Fires when the first child event fires; value is ``(index, value)``."""
 
-    __slots__ = ("_children",)
+    __slots__ = ("_children", "_watched")
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
         self._children = list(events)
+        self._watched: List[Tuple[Event, Callable[[Event], None]]] = []
         if not self._children:
             raise SimulationError("AnyOf requires at least one event")
         for index, child in enumerate(self._children):
             if child.processed:
                 self._on_child(index, child)
                 break
-            child.callbacks.append(
-                lambda evt, index=index: self._on_child(index, evt)
-            )
+            callback = lambda evt, index=index: self._on_child(index, evt)  # noqa: E731
+            child.callbacks.append(callback)
+            self._watched.append((child, callback))
 
     def _on_child(self, index: int, child: Event) -> None:
         if self._triggered:
             return
+        # Detach from the losing children: without this, every loser
+        # keeps a callback (and through it this AnyOf) alive for the
+        # rest of the run.
+        watched, self._watched = self._watched, []
+        for other, callback in watched:
+            if other is child or other.processed:
+                continue
+            try:
+                other.callbacks.remove(callback)
+            except ValueError:
+                pass
         if child.ok:
             self.succeed((index, child.value))
         else:
@@ -300,6 +334,11 @@ class Environment:
         self._now = float(initial_time)
         self._queue: List[Tuple[float, int, Event]] = []
         self._sequence = 0
+        #: Events dispatched by :meth:`step` over the environment's
+        #: lifetime (the perf harness derives events/sec from this).
+        self.events_processed = 0
+        #: Recycled Timeout objects (see :meth:`timeout`).
+        self._timeout_pool: List[Timeout] = []
 
     @property
     def now(self) -> float:
@@ -317,8 +356,51 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event that fires after ``delay`` microseconds."""
-        return Timeout(self, delay, value)
+        """Create an event that fires after ``delay`` microseconds.
+
+        Timeouts are the kernel's hottest allocation; finished ones
+        with no outside references are recycled through a free-list,
+        so most calls here reuse an object instead of allocating.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        return self._arm_timeout(self._now + delay, delay, value)
+
+    def wake_at(self, when: float, value: Any = None) -> Timeout:
+        """An event firing at the *absolute* instant ``when``.
+
+        Unlike ``timeout(when - now)``, the clock lands on exactly
+        ``when`` (float subtraction then re-addition can be off by an
+        ulp). The batched vCPU fast path uses this to keep its
+        aggregated wakeups bit-identical to the per-event timeline.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"wake_at({when}) is in the past (now={self._now})"
+            )
+        return self._arm_timeout(when, when - self._now, value)
+
+    def _arm_timeout(self, when: float, delay: float, value: Any) -> Timeout:
+        pool = self._timeout_pool
+        if pool:
+            timeout = pool.pop()
+            timeout.delay = delay
+            timeout._value = value
+            timeout._ok = True
+            timeout._triggered = True
+            timeout._processed = False
+        else:
+            timeout = Timeout.__new__(Timeout)
+            timeout.env = self
+            timeout.callbacks = []
+            timeout.delay = delay
+            timeout._value = value
+            timeout._ok = True
+            timeout._triggered = True
+            timeout._processed = False
+        self._sequence += 1
+        heapq.heappush(self._queue, (when, self._sequence, timeout))
+        return timeout
 
     def process(
         self,
@@ -346,7 +428,17 @@ class Environment:
             raise SimulationError("step() on an empty event queue")
         when, _, event = heapq.heappop(self._queue)
         self._now = when
+        self.events_processed += 1
         subscribers = event._run_callbacks()
+        if (
+            type(event) is Timeout
+            and len(self._timeout_pool) < _TIMEOUT_POOL_MAX
+            and getrefcount(event) == 2
+        ):
+            # Nobody else holds the timeout (the 2 counts this frame's
+            # local plus getrefcount's argument): safe to recycle.
+            self._timeout_pool.append(event)
+            return
         if not event.ok and subscribers == 0:
             # An unhandled failure with nobody waiting: surface it
             # rather than silently dropping the error, unless it is a

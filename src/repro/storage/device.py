@@ -139,6 +139,17 @@ class BlockDevice:
         self.stats.busy_time_us += elapsed
         return elapsed
 
+    def can_read_immediately(self) -> bool:
+        """True when a read issued right now would acquire a queue
+        slot and the bandwidth channel without waiting. The fault
+        fast path uses this (together with an event-heap check) to
+        decide whether a read's service time is computable
+        synchronously."""
+        return (
+            self._slots.in_use < self._slots.capacity
+            and self._channel.in_use == 0
+        )
+
     def reset_stats(self) -> None:
         """Zero the counters (e.g. between record and test phases)."""
         self.stats = DeviceStats()

@@ -89,16 +89,17 @@ class StoredFile:
                 f"> {self.num_pages}"
             )
         values = [self.page_value(page_index + i) for i in range(npages)]
-        for run_start, run_len in self._data_runs(page_index, npages):
+        for run_start, run_len in self.data_runs(page_index, npages):
             yield from self.device.read(
                 self.base_offset + run_start * PAGE_SIZE, run_len * PAGE_SIZE
             )
         return values
 
-    def _data_runs(
+    def data_runs(
         self, page_index: int, npages: int
     ) -> Iterable[Tuple[int, int]]:
-        """Contiguous runs of pages that require device I/O."""
+        """Contiguous runs of pages that require device I/O (holes of
+        sparse files split runs and cost nothing)."""
         if not self.sparse:
             yield (page_index, npages)
             return

@@ -53,6 +53,19 @@ class GuestLayout:
                 "layout regions exceed guest memory: "
                 f"{self.heap_start} >= {self.total_pages}"
             )
+        # Trace generators address hundreds of thousands of pages per
+        # run through ``_page``; cache the bounds table once (the
+        # dataclass is frozen, so it can never go stale).
+        object.__setattr__(
+            self,
+            "_bounds",
+            {
+                "boot": (self.boot_start, self.boot_pages),
+                "runtime": (self.runtime_start, self.runtime_pages),
+                "data": (self.data_start, self.data_pages),
+                "heap": (self.heap_start, self.heap_pages),
+            },
+        )
 
     # -- region bounds -------------------------------------------------
 
@@ -78,12 +91,7 @@ class GuestLayout:
 
     def region_bounds(self) -> Dict[str, Tuple[int, int]]:
         """``{region: (start, npages)}`` for all four regions."""
-        return {
-            "boot": (self.boot_start, self.boot_pages),
-            "runtime": (self.runtime_start, self.runtime_pages),
-            "data": (self.data_start, self.data_pages),
-            "heap": (self.heap_start, self.heap_pages),
-        }
+        return dict(self._bounds)
 
     # -- addressing ------------------------------------------------------
 
@@ -100,7 +108,7 @@ class GuestLayout:
         return self._page("heap", offset)
 
     def _page(self, region: str, offset: int) -> int:
-        start, npages = self.region_bounds()[region]
+        start, npages = self._bounds[region]
         if not 0 <= offset < npages:
             raise ValueError(
                 f"offset {offset} outside {region} region of {npages} pages"
@@ -111,7 +119,7 @@ class GuestLayout:
         """Name of the region containing ``page``."""
         if not 0 <= page < self.total_pages:
             raise ValueError(f"page {page} outside guest memory")
-        for region, (start, npages) in self.region_bounds().items():
+        for region, (start, npages) in self._bounds.items():
             if start <= page < start + npages:
                 return region
         raise AssertionError("regions must cover the address space")

@@ -76,28 +76,33 @@ def capture_memory_contents(
     written to a *new* memory file when a snapshot is taken after an
     invocation (paper Figure 5: "create new snapshot").
 
-    Iterates only pages that can be non-zero — dirtied pages plus the
-    base snapshot's non-zero pages — so capturing a 2 GB guest stays
-    cheap.
+    Iterates only pages that can be non-zero — each mapping's backing
+    file entries plus the dirtied pages — so capturing a 2 GB guest
+    stays cheap. (``base`` is accepted for call-site symmetry; the
+    mappings themselves carry everything needed.)
     """
     contents: Dict[int, int] = {}
-    candidates = set(space.anon_contents)
-    if base is not None:
-        candidates.update(base.memory_file.pages)
-    else:
-        for vma in space.vmas():
-            if isinstance(vma.backing, FileBacking):
-                file_pages = vma.backing.file.pages
-                first = vma.backing.file_start_page
-                last = first + vma.npages
-                for file_page in file_pages:
-                    if first <= file_page < last:
-                        candidates.add(vma.start + (file_page - first))
-    for page in candidates:
-        vma = space.resolve(page)
-        if vma is None:
+    for vma in space.vmas():
+        backing = vma.backing
+        if not isinstance(backing, FileBacking):
             continue
-        value = space.backing_value(page)
+        file_pages = backing.file.pages
+        first = backing.file_start_page
+        last = first + vma.npages
+        base_guest = vma.start - first
+        if len(file_pages) <= vma.npages:
+            for file_page, value in file_pages.items():
+                if first <= file_page < last and value != 0:
+                    contents[base_guest + file_page] = value
+        else:
+            for file_page in range(first, last):
+                value = file_pages.get(file_page, 0)
+                if value != 0:
+                    contents[base_guest + file_page] = value
+    # Private (dirtied) pages override whatever backs them.
+    for page, value in space.anon_contents.items():
         if value != 0:
             contents[page] = value
+        else:
+            contents.pop(page, None)
     return contents

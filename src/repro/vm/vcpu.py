@@ -17,11 +17,32 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Generator, List, Optional
 
-from repro.host.fault import FaultHandler, FaultKind, FaultRecord
+from repro.host.fault import (
+    HORIZON_BLOCKED,
+    FaultHandler,
+    FaultKind,
+    FaultRecord,
+)
 from repro.sim import Environment, Event, Resource
 
+INFINITY = float("inf")
 
-@dataclass(frozen=True)
+
+class ObservationHorizon:
+    """The next simulated instant at which a concurrent observer (the
+    mincore recorder) will read state the fault fast path mutates
+    eagerly (the installed-PTE count). The batching vCPU never lets an
+    install whose per-event completion would land at or past this
+    instant happen early — it flushes, lets the observer catch up, and
+    retries — so observers see bit-identical state either way."""
+
+    __slots__ = ("next_at",)
+
+    def __init__(self, next_at: float = float("inf")):
+        self.next_at = next_at
+
+
+@dataclass(frozen=True, slots=True)
 class GuestAccess:
     """One step of guest execution: compute, then touch a page."""
 
@@ -51,23 +72,42 @@ class VCpuResult:
 
 
 class VCpu:
-    """Executes guest access traces against a host fault handler."""
+    """Executes guest access traces against a host fault handler.
+
+    With ``batch_faults`` (the default) runs of accesses that cannot
+    block — EPT hits, anonymous and present faults, minor faults on an
+    unbounded page cache — are serviced synchronously on a virtual
+    clock and the whole run sleeps once via
+    :meth:`~repro.sim.Environment.wake_at`, instead of dispatching one
+    heap event per page. Service costs are deterministic (paper §3),
+    so every :class:`FaultRecord` and the final clock are bit-identical
+    to the per-event path; only major faults, in-flight-read waits and
+    userfaultfd delegations drop back to the event-driven slow path.
+    """
 
     def __init__(
         self,
         env: Environment,
         handler: FaultHandler,
         cpu: Optional[Resource] = None,
+        batch_faults: bool = True,
     ):
         self.env = env
         self.handler = handler
         self.cpu = cpu
+        self.batch_faults = batch_faults
+        #: Set when a concurrent observer (mincore recorder) watches
+        #: this VM's resident-set size; bounds how far ahead of the
+        #: real clock the fast path may install PTEs.
+        self.observer_horizon: Optional[ObservationHorizon] = None
 
     def run_trace(
         self, trace: List[GuestAccess], tail_think_us: float = 0.0
     ) -> Generator[Event, Any, VCpuResult]:
         """Process helper: execute ``trace`` then ``tail_think_us`` of
         final compute (e.g. serialising the response)."""
+        if self.batch_faults:
+            return (yield from self._run_trace_batched(trace, tail_think_us))
         started = self.env.now
         records: List[FaultRecord] = []
         for access in trace:
@@ -80,6 +120,73 @@ class VCpu:
         if tail_think_us > 0:
             yield from self._compute(tail_think_us)
         return VCpuResult(started, self.env.now, records)
+
+    def _run_trace_batched(
+        self, trace: List[GuestAccess], tail_think_us: float = 0.0
+    ) -> Generator[Event, Any, VCpuResult]:
+        """Batched twin of :meth:`run_trace`.
+
+        ``vnow`` is the vCPU's virtual clock: it runs ahead of
+        ``env.now`` while accesses are serviced synchronously, and a
+        single ``wake_at(vnow)`` flush realises the accumulated time
+        whenever the trace hits a slow-path access (or ends). Think
+        time folds into the batch when no host CPU slot is modelled;
+        with a CPU resource it must contend, so it flushes first.
+        """
+        env = self.env
+        handler = self.handler
+        started = env.now
+        records: List[FaultRecord] = []
+        vnow = started
+        horizon = self.observer_horizon
+        fast_access = handler.fast_access
+        append = records.append
+        no_cpu = self.cpu is None
+        for access in trace:
+            if access.think_us > 0:
+                if no_cpu:
+                    vnow += access.think_us
+                else:
+                    if vnow > env.now:
+                        yield env.wake_at(vnow)
+                    yield from self._compute(access.think_us)
+                    vnow = env.now
+            while True:
+                fast = fast_access(
+                    access.page,
+                    access.write,
+                    access.value,
+                    vnow,
+                    horizon.next_at if horizon is not None else INFINITY,
+                )
+                if fast is HORIZON_BLOCKED and vnow > env.now:
+                    # An eager install would land at or past the next
+                    # observer read. Flush so the observer catches up
+                    # (moving its horizon forward), then retry.
+                    yield env.wake_at(vnow)
+                    continue
+                break
+            if fast is None or fast is HORIZON_BLOCKED:
+                if vnow > env.now:
+                    yield env.wake_at(vnow)
+                record = yield from handler.access(
+                    access.page, write=access.write, value=access.value
+                )
+                vnow = env.now
+            else:
+                record, vnow = fast
+            append(record)
+        if tail_think_us > 0:
+            if self.cpu is None:
+                vnow += tail_think_us
+            else:
+                if vnow > env.now:
+                    yield env.wake_at(vnow)
+                yield from self._compute(tail_think_us)
+                vnow = env.now
+        if vnow > env.now:
+            yield env.wake_at(vnow)
+        return VCpuResult(started, env.now, records)
 
     def _compute(self, think_us: float) -> Generator[Event, Any, None]:
         """Burn CPU time, holding a host CPU slot if one is modelled."""

@@ -99,6 +99,7 @@ class MicroVM:
         label: str = "vm",
         cpu: Optional[Resource] = None,
         use_uffd: bool = False,
+        batch_faults: bool = True,
     ):
         self.env = env
         self.host_params = host_params
@@ -112,7 +113,7 @@ class MicroVM:
         self.handler = FaultHandler(
             env, host_params, cache, self.space, uffd=self.uffd, label=label
         )
-        self.vcpu = VCpu(env, self.handler, cpu=cpu)
+        self.vcpu = VCpu(env, self.handler, cpu=cpu, batch_faults=batch_faults)
         self.procfs = Procfs(env, host_params, self.space)
         self._setup_done = False
 

@@ -31,8 +31,8 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.vm.layout import DEFAULT_BOOT_PAGES, DEFAULT_GUEST_PAGES, GuestLayout
 from repro.vm.vcpu import GuestAccess
@@ -162,6 +162,13 @@ class WorkloadTrace:
     heap_bump: int
     #: Final compute after the last access, microseconds.
     tail_think_us: float
+    #: Memo of traces derived *from* this one (``prior=self``), keyed
+    #: by ``(profile, input)`` — generation is deterministic, so the
+    #: derived trace is a pure function of those. Living on the prior
+    #: keeps the memo's lifetime tied to it.
+    _derived: Dict[Any, "WorkloadTrace"] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @property
     def touched_pages(self) -> Set[int]:
@@ -275,6 +282,9 @@ def runtime_resident_offsets(profile: WorkloadProfile) -> List[int]:
     return sorted(placement["core"] + placement["pool"])
 
 
+_CLEAN_CONTENTS_CACHE: Dict[WorkloadProfile, Dict[int, int]] = {}
+
+
 def clean_snapshot_contents(profile: WorkloadProfile) -> Dict[int, int]:
     """Guest memory contents of the *clean* snapshot: the VM booted,
     runtime initialised and data loaded, but no invocation served yet
@@ -282,8 +292,13 @@ def clean_snapshot_contents(profile: WorkloadProfile) -> Dict[int, int]:
 
     Non-zero pages: the whole boot region, every populated runtime
     page (core + pool: the interpreter and its imported libraries),
-    and the data region. The heap is all zeros.
+    and the data region. The heap is all zeros. Deterministic per
+    profile, so the construction is memoised; a fresh copy is
+    returned each call.
     """
+    cached = _CLEAN_CONTENTS_CACHE.get(profile)
+    if cached is not None:
+        return dict(cached)
     layout = build_layout(profile)
     contents: Dict[int, int] = {}
     for offset in range(profile.boot_pages):
@@ -295,7 +310,8 @@ def clean_snapshot_contents(profile: WorkloadProfile) -> Dict[int, int]:
     for offset in range(profile.data_pages):
         page = layout.data_page(offset)
         contents[page] = content_token(page, 0)
-    return contents
+    _CLEAN_CONTENTS_CACHE[profile] = contents
+    return dict(contents)
 
 
 def _interleave_chunks(
@@ -319,18 +335,40 @@ def _interleave_chunks(
     return merged
 
 
+#: Memo of prior-less traces keyed by ``(profile, input)``. Trace
+#: generation is deterministic and traces are treated as immutable by
+#: every consumer, so repeated experiment cells share one object
+#: instead of regenerating (and the key space — distinct workload ×
+#: input pairs — is small).
+_TRACE_CACHE: Dict[Tuple[WorkloadProfile, InputSpec], WorkloadTrace] = {}
+
+
 def generate_trace(
     profile: WorkloadProfile,
     input_spec: InputSpec,
     prior: Optional[WorkloadTrace] = None,
 ) -> WorkloadTrace:
-    """Build the access trace of one invocation.
+    """Build (or recall) the access trace of one invocation.
 
     ``prior`` is the previous invocation on the same VM image (the
     record phase): its freed heap pages are reused LIFO before fresh
     heap pages are drawn, and its heap high-water mark is where the
     bump allocator continues.
     """
+    cache = _TRACE_CACHE if prior is None else prior._derived
+    key = (profile, input_spec)
+    trace = cache.get(key)
+    if trace is None:
+        trace = _generate_trace(profile, input_spec, prior)
+        cache[key] = trace
+    return trace
+
+
+def _generate_trace(
+    profile: WorkloadProfile,
+    input_spec: InputSpec,
+    prior: Optional[WorkloadTrace],
+) -> WorkloadTrace:
     layout = build_layout(profile)
     placement = _placement(profile)
     ratio = input_spec.size_ratio

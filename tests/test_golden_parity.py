@@ -1,0 +1,82 @@
+"""Golden-parity tests for the performance machinery.
+
+The fault fast path (``PlatformConfig.batch_faults``) and the parallel
+experiment runner (``jobs=N``) are pure wall-clock optimisations: they
+must not change a single simulated number. These tests compare full
+invocation results — every scalar field and every fault record, down
+to float bit-identity — between the optimised and reference paths.
+"""
+
+from repro.core.policies import MAIN_POLICIES, Policy
+from repro.core.restore import PlatformConfig
+from repro.experiments.common import fresh_platform, measure
+from repro.experiments.runner import CellSpec, measure_cells
+from repro.workloads.base import INPUT_A, InputSpec
+
+
+def canonical(result):
+    """An invocation result as a plain comparable value."""
+    return (
+        result.policy,
+        result.function,
+        result.input,
+        result.setup_us,
+        result.invoke_us,
+        result.fetch_time_us,
+        result.fetch_bytes,
+        result.uffd_faults,
+        result.rss_pages,
+        result.cache_pages,
+        result.private_buffer_pages,
+        tuple(
+            (
+                r.kind,
+                r.page,
+                r.start_us,
+                r.duration_us,
+                r.block_requests,
+                r.bytes_read,
+            )
+            for r in result.fault_records
+        ),
+    )
+
+
+#: Figure 1 / Figure 8 style cells: every restore policy, same-input
+#: and larger-input test phases (the latter drives REAP's userfaultfd
+#: path and FaaSnap's sanitised record phase hard).
+POLICIES = list(MAIN_POLICIES) + [Policy.WARM]
+RATIOS = (1.0, 4.0)
+
+
+def _run_grid(batch_faults):
+    config = PlatformConfig(batch_faults=batch_faults)
+    platform, handles = fresh_platform(config, False, ("json",))
+    out = []
+    for ratio in RATIOS:
+        spec = InputSpec(content_id=9, size_ratio=ratio)
+        for policy in POLICIES:
+            cell = measure(platform, handles["json"], policy, spec, INPUT_A)
+            out.append(canonical(cell.result))
+    return out
+
+
+def test_batching_is_bit_identical_to_event_path():
+    assert _run_grid(batch_faults=True) == _run_grid(batch_faults=False)
+
+
+def test_parallel_runner_is_bit_identical_to_serial():
+    specs = [
+        CellSpec("json", policy, InputSpec(content_id=9, size_ratio=ratio))
+        for ratio in (0.5, 2.0)
+        for policy in MAIN_POLICIES
+    ]
+    serial = measure_cells(specs, jobs=1)
+    parallel = measure_cells(specs, jobs=2)
+    assert [canonical(c.result) for c in serial] == [
+        canonical(c.result) for c in parallel
+    ]
+    # Cells come back in spec order regardless of shard layout.
+    assert [(c.function, c.policy, c.test_input) for c in parallel] == [
+        (s.function, s.policy, s.test_input) for s in specs
+    ]

@@ -1,0 +1,152 @@
+"""Property-based tests for the fault fast-path batching.
+
+The batched vCPU must be observationally equivalent to the per-event
+path for *arbitrary* traces, not just the paper's workloads: same
+fault records (bit-identical floats), same finish time, same final
+address-space, page-cache and device state. Hypothesis drives random
+mixes of file-backed reads/writes, anonymous touches, repeats and
+think time through both paths and compares everything.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reap import make_reap_fault_handler
+from repro.host import HostParams, PageCache
+from repro.host.fault import FaultHandler
+from repro.host.uffd import UserfaultfdManager
+from repro.host.vma import AddressSpace
+from repro.sim import Environment
+from repro.storage import BlockDevice, DeviceSpec, FileStore
+from repro.vm import create_snapshot
+from repro.vm.vcpu import GuestAccess, VCpu
+
+HOST = HostParams()
+
+#: File-backed pages [0, FILE_PAGES) then anonymous pages up to TOTAL.
+FILE_PAGES = 48
+TOTAL_PAGES = 96
+
+
+def _device(env):
+    return BlockDevice(
+        env, DeviceSpec("d", 100.0, 10.0, 1589.0, 285_000, queue_depth=16)
+    )
+
+
+def _build_file_backed(file_pages, sparse):
+    env = Environment()
+    store = FileStore(env, _device(env))
+    cache = PageCache(env)
+    file = store.create("mem", FILE_PAGES, pages=file_pages, sparse=sparse)
+    space = AddressSpace(TOTAL_PAGES)
+    space.mmap_file(0, FILE_PAGES, file, 0)
+    space.mmap_anonymous(FILE_PAGES, TOTAL_PAGES - FILE_PAGES)
+    handler = FaultHandler(env, HOST, cache, space)
+    return env, handler, file.device
+
+
+def _build_uffd(file_pages):
+    env = Environment()
+    store = FileStore(env, _device(env))
+    cache = PageCache(env)
+    snapshot = create_snapshot(store, "fn", FILE_PAGES, file_pages)
+    space = AddressSpace(TOTAL_PAGES)
+    uffd = UserfaultfdManager(env, HOST)
+    uffd.register(
+        0, FILE_PAGES, make_reap_fault_handler(env, HOST, cache, snapshot)
+    )
+    handler = FaultHandler(env, HOST, cache, space, uffd=uffd)
+    handler.io_device = snapshot.memory_file.device
+    return env, handler, snapshot.memory_file.device
+
+
+def _observe(env, handler, device, result):
+    """Everything the two paths must agree on."""
+    space = handler.space
+    return (
+        result.started_us,
+        result.finished_us,
+        env.now,
+        tuple(
+            (
+                r.kind,
+                r.page,
+                r.start_us,
+                r.duration_us,
+                r.block_requests,
+                r.bytes_read,
+            )
+            for r in result.records
+        ),
+        sorted(space.pte.items()),
+        sorted(space.anon_contents.items()),
+        sorted(space.ept),
+        sorted(handler.cache.resident_set()),
+        device.stats.requests,
+        device.stats.sequential_requests,
+        device.stats.bytes_read,
+        device.stats.busy_time_us,
+        tuple(device.stats.per_request_sizes),
+    )
+
+
+def _trace(raw, page_limit):
+    return [
+        GuestAccess(
+            page=page % page_limit,
+            write=write,
+            value=(page % page_limit) + 7 if write else None,
+            think_us=think,
+        )
+        for page, write, think in raw
+    ]
+
+
+accesses = st.lists(
+    st.tuples(
+        st.integers(0, TOTAL_PAGES - 1),
+        st.booleans(),
+        st.sampled_from([0.0, 0.5, 3.25]),
+    ),
+    max_size=50,
+)
+
+file_contents = st.dictionaries(
+    st.integers(0, FILE_PAGES - 1), st.integers(1, 9), max_size=FILE_PAGES
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(file_contents, st.booleans(), accesses)
+def test_batched_trace_matches_event_path(file_pages, sparse, raw):
+    trace = _trace(raw, TOTAL_PAGES)
+    seen = []
+    for batch in (False, True):
+        env, handler, device = _build_file_backed(file_pages, sparse)
+        vcpu = VCpu(env, handler, batch_faults=batch)
+        result = env.run(
+            until=env.process(vcpu.run_trace(trace, tail_think_us=1.0))
+        )
+        seen.append(_observe(env, handler, device, result))
+    assert seen[0] == seen[1]
+
+
+@settings(max_examples=40, deadline=None)
+@given(file_contents, accesses)
+def test_batched_uffd_faults_match_event_path(file_pages, raw):
+    # Every page is userfaultfd-registered (REAP's out-of-working-set
+    # situation), exercising the synchronous delegation twin.
+    trace = _trace(raw, FILE_PAGES)
+    seen = []
+    delegated = []
+    for batch in (False, True):
+        env, handler, device = _build_uffd(file_pages)
+        vcpu = VCpu(env, handler, batch_faults=batch)
+        result = env.run(
+            until=env.process(vcpu.run_trace(trace, tail_think_us=1.0))
+        )
+        seen.append(_observe(env, handler, device, result))
+        delegated.append(handler.uffd.delegated_faults)
+    assert seen[0] == seen[1]
+    assert delegated[0] == delegated[1]
