@@ -89,6 +89,44 @@ def run_workload(cells) -> dict:
     }
 
 
+#: Cluster-throughput entry: a hot 8-function fleet served on 4
+#: page-level hosts. ``invocations`` and the latency checksum are
+#: deterministic (exact-gated); invocations/sec is the throughput.
+CLUSTER_HOSTS = 4
+
+
+def run_cluster_workload() -> dict:
+    """Serve a dense fleet trace on the multi-host cluster scheduler."""
+    from repro.cluster import ClusterConfig, ClusterSimulator
+    from repro.fleet.workload import generate_arrivals, synthesize_fleet
+
+    fleet = synthesize_fleet(
+        8,
+        seed=7,
+        profile_names=("json", "pyaes"),
+        hot_interarrival_us=5_000_000.0,
+        cold_interarrival_us=60_000_000.0,
+    )
+    trace = generate_arrivals(fleet, duration_us=120_000_000.0, seed=7)
+    config = ClusterConfig(
+        num_hosts=CLUSTER_HOSTS,
+        placement="least-loaded",
+        keep_alive_ttl_us=30_000_000.0,
+    )
+    started = time.perf_counter()
+    report = ClusterSimulator(fleet, config).run(trace)
+    elapsed = time.perf_counter() - started
+    return {
+        "hosts": CLUSTER_HOSTS,
+        "invocations": report.count(),
+        "latency_checksum_us": round(
+            sum(s.latency_us for s in report.served), 3
+        ),
+        "wall_seconds": round(elapsed, 3),
+        "invocations_per_sec": round(report.count() / elapsed, 2),
+    }
+
+
 def time_figures(names) -> dict:
     """Regenerate whole experiments; wall-clock seconds per id."""
     from repro.experiments import ALL_EXPERIMENTS
@@ -134,6 +172,9 @@ def main() -> int:
     metrics = run_workload(cells)
     for key, value in metrics.items():
         print(f"{key:>16}: {value}")
+    cluster_metrics = run_cluster_workload()
+    for key, value in cluster_metrics.items():
+        print(f"{'cluster.' + key:>26}: {value}")
 
     figure_timings = None
     if args.figures is not None:
@@ -141,7 +182,8 @@ def main() -> int:
 
     if args.update:
         baseline = {
-            "smoke": metrics if args.smoke else run_workload(SMOKE_CELLS)
+            "smoke": metrics if args.smoke else run_workload(SMOKE_CELLS),
+            "cluster": cluster_metrics,
         }
         if figure_timings is not None:
             baseline["experiments"] = {
@@ -162,7 +204,8 @@ def main() -> int:
     if not BASELINE_PATH.exists():
         print(f"no baseline at {BASELINE_PATH}; run with --update", file=sys.stderr)
         return 2
-    baseline = json.loads(BASELINE_PATH.read_text())["smoke"]
+    full_baseline = json.loads(BASELINE_PATH.read_text())
+    baseline = full_baseline["smoke"]
 
     status = 0
     if metrics["events"] != baseline["events"]:
@@ -181,11 +224,43 @@ def main() -> int:
             file=sys.stderr,
         )
         status = 1
+    cluster_baseline = full_baseline.get("cluster")
+    if cluster_baseline is None:
+        print(
+            "no cluster baseline in BENCH_core.json; run with --update",
+            file=sys.stderr,
+        )
+        status = 1
+    else:
+        for exact_key in ("invocations", "latency_checksum_us"):
+            if cluster_metrics[exact_key] != cluster_baseline[exact_key]:
+                print(
+                    f"FAIL: cluster {exact_key} {cluster_metrics[exact_key]} "
+                    f"!= baseline {cluster_baseline[exact_key]} — cluster "
+                    "behaviour changed",
+                    file=sys.stderr,
+                )
+                status = 1
+        cluster_floor = cluster_baseline["invocations_per_sec"] * (
+            1.0 - args.threshold
+        )
+        if cluster_metrics["invocations_per_sec"] < cluster_floor:
+            print(
+                f"FAIL: {cluster_metrics['invocations_per_sec']:.2f} cluster "
+                f"invocations/sec is below {cluster_floor:.2f} (baseline "
+                f"{cluster_baseline['invocations_per_sec']:.2f} "
+                f"- {args.threshold:.0%})",
+                file=sys.stderr,
+            )
+            status = 1
+
     if status == 0:
         print(
             f"OK: events/sec within {args.threshold:.0%} of baseline "
             f"({metrics['events_per_sec']:.0f} vs "
-            f"{baseline['events_per_sec']:.0f}), event count exact"
+            f"{baseline['events_per_sec']:.0f}), event count exact; "
+            f"cluster {cluster_metrics['invocations_per_sec']:.2f} inv/sec "
+            f"({CLUSTER_HOSTS} hosts), checksums exact"
         )
     return status
 

@@ -5,8 +5,16 @@ Commands:
 * ``functions`` — list the Table 2 benchmark functions and their
   calibrated working sets.
 * ``invoke`` — run one function under one (or every) restore policy.
-* ``experiment`` — regenerate a paper table/figure by id.
-* ``fleet`` — run a small fleet simulation (paper §7.1).
+* ``experiment`` — regenerate a paper table/figure by id
+  (``--cluster`` switches a figure to its contention-aware mode).
+* ``fleet`` — run a small fleet simulation (paper §7.1) against the
+  static cost table.
+* ``cluster`` — the same serving problem on N page-level simulated
+  hosts, where restore contention is emergent.
+
+``invoke`` and ``cluster`` accept ``--trace-out FILE`` to export the
+recorded spans as Zipkin-flavoured JSON, each span tagged with the id
+of the host that produced it.
 """
 
 from __future__ import annotations
@@ -44,9 +52,23 @@ def _cmd_functions(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_trace(tracer, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(tracer.to_json())
+        fh.write("\n")
+    print(f"wrote {len(tracer.roots)} trace(s) to {path}", file=sys.stderr)
+
+
 def _cmd_invoke(args: argparse.Namespace) -> int:
+    from repro.metrics.tracing import Tracer
+
     platform = FaaSnapPlatform(remote_storage=args.remote)
     handle = platform.register_function(get_profile(args.function))
+    tracer = (
+        Tracer(platform.env, default_tags={"host": platform.host.host_id})
+        if args.trace_out
+        else None
+    )
     if args.input == "A":
         test_input = INPUT_A
     elif args.input == "B":
@@ -68,7 +90,7 @@ def _cmd_invoke(args: argparse.Namespace) -> int:
     rows = []
     for policy in policies:
         result = platform.invoke(
-            handle, test_input, policy, record_input=INPUT_A
+            handle, test_input, policy, record_input=INPUT_A, tracer=tracer
         )
         rows.append(
             [
@@ -88,6 +110,8 @@ def _cmd_invoke(args: argparse.Namespace) -> int:
             f"({'EBS' if args.remote else 'NVMe'})",
         )
     )
+    if tracer is not None:
+        _write_trace(tracer, args.trace_out)
     return 0
 
 
@@ -102,6 +126,16 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.cluster:
+        if not hasattr(module, "run_cluster"):
+            print(
+                f"experiment {args.id!r} has no contention-aware "
+                "cluster mode",
+                file=sys.stderr,
+            )
+            return 2
+        print(module.format_cluster_table(module.run_cluster(jobs=args.jobs)))
+        return 0
     print(module.format_table(module.run(jobs=args.jobs)))
     return 0
 
@@ -162,6 +196,81 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.cluster import ClusterConfig, ClusterSimulator
+    from repro.fleet import StartKind, generate_arrivals, synthesize_fleet
+    from repro.fleet.workload import US_PER_HOUR, US_PER_MINUTE
+    from repro.metrics.tracing import Tracer
+
+    fleet = synthesize_fleet(
+        args.functions, seed=args.seed, profile_names=("json", "pyaes")
+    )
+    trace = generate_arrivals(fleet, args.hours * US_PER_HOUR, seed=args.seed)
+    config = ClusterConfig(
+        num_hosts=args.hosts,
+        placement=args.placement,
+        restore_policy=Policy(args.policy),
+        keep_alive_ttl_us=args.ttl_minutes * US_PER_MINUTE,
+        memory_budget_mb=args.memory_gb * 1024,
+        snapshot_tier=args.tier,
+        max_concurrent_per_host=args.max_concurrent,
+    )
+    simulator = ClusterSimulator(fleet, config)
+    tracer = Tracer() if args.trace_out else None
+    report = simulator.run(trace, tracer=tracer)
+    rows = [
+        ["invocations", report.count()],
+        ["prep (s)", report.prep_us / 1e6],
+        ["mean latency (ms)", report.mean_latency_us() / 1000],
+        ["p99 latency (ms)", report.latency_percentile(99) / 1000],
+        ["warm %", report.fraction(StartKind.WARM) * 100],
+        ["snapshot %", report.fraction(StartKind.SNAPSHOT) * 100],
+        ["cold %", report.fraction(StartKind.COLD) * 100],
+        ["evictions", report.evictions],
+    ]
+    print(
+        render_table(
+            ["metric", "value"],
+            rows,
+            title=f"Cluster: {args.functions} functions over "
+            f"{args.hours:g} h on {args.hosts} host(s), "
+            f"{args.placement} placement, {args.tier} tier",
+        )
+    )
+    host_rows = [
+        [
+            stats.host,
+            stats.invocations,
+            stats.warm_starts,
+            stats.snapshot_starts,
+            stats.cold_starts,
+            stats.evictions,
+            stats.device_bytes_read / 1e6,
+            stats.device_queue_wait_us / 1000,
+        ]
+        for stats in report.host_stats.values()
+    ]
+    print(
+        render_table(
+            [
+                "host",
+                "served",
+                "warm",
+                "snapshot",
+                "cold",
+                "evictions",
+                "dev_read_MB",
+                "dev_qwait_ms",
+            ],
+            host_rows,
+            title="Per-host breakdown",
+        )
+    )
+    if tracer is not None:
+        _write_trace(tracer, args.trace_out)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="FaaSnap reproduction CLI"
@@ -185,6 +294,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="'A', 'B', or a numeric size ratio (record phase uses A)",
     )
     invoke.add_argument("--remote", action="store_true", help="EBS storage")
+    invoke.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write Zipkin-flavoured JSON spans of each invocation",
+    )
     invoke.set_defaults(handler=_cmd_invoke)
 
     experiment = sub.add_parser(
@@ -198,6 +313,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes for independent cells (results are "
         "bit-identical to a serial run; 0/1 serial, -1 one per CPU)",
+    )
+    experiment.add_argument(
+        "--cluster",
+        action="store_true",
+        help="contention-aware multi-host mode (fig10/fig11 only)",
     )
     experiment.set_defaults(handler=_cmd_experiment)
 
@@ -228,6 +348,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for precomputing serving costs",
     )
     fleet.set_defaults(handler=_cmd_fleet)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="contention-aware multi-host serving (page-level restores)",
+    )
+    from repro.cluster.placement import PLACEMENT_NAMES
+    from repro.cluster.scheduler import SNAPSHOT_TIERS, TIER_LOCAL_NVME
+
+    cluster.add_argument("--functions", type=int, default=12)
+    cluster.add_argument("--hours", type=float, default=0.5)
+    cluster.add_argument("--hosts", type=int, default=4)
+    cluster.add_argument(
+        "--placement", default="least-loaded", choices=PLACEMENT_NAMES
+    )
+    cluster.add_argument(
+        "--tier", default=TIER_LOCAL_NVME, choices=SNAPSHOT_TIERS
+    )
+    cluster.add_argument("--ttl-minutes", type=float, default=15.0)
+    cluster.add_argument("--memory-gb", type=float, default=8.0)
+    cluster.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admission limit per host (default: unlimited)",
+    )
+    cluster.add_argument(
+        "--policy",
+        default=Policy.FAASNAP.value,
+        choices=[p.value for p in Policy],
+    )
+    cluster.add_argument("--seed", type=int, default=1)
+    cluster.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write Zipkin-flavoured JSON spans (tagged per host)",
+    )
+    cluster.set_defaults(handler=_cmd_cluster)
 
     return parser
 

@@ -1,0 +1,54 @@
+"""Multi-host cluster serving (paper §7.1 at fleet scale).
+
+The fleet layer answers "which start kind serves each arrival" from a
+static cost table; this package answers it with physics. A
+:class:`~repro.cluster.scheduler.ClusterSimulator` places arrivals
+across N :class:`~repro.core.host.Host` machines on one shared
+virtual clock, and every snapshot start runs the real page-level
+restore on its host's own block device and page cache — so device
+queue contention between concurrent restores (Fig. 10) and the
+local-NVMe vs shared-remote storage gap (Fig. 11) are *emergent*,
+not assumed.
+
+* :mod:`~repro.cluster.placement` — pluggable placement policies:
+  round-robin, least-loaded, snapshot-locality packing.
+* :mod:`~repro.cluster.scheduler` — the cluster scheduler itself,
+  with per-host keep-alive pools, memory budgets, admission limits,
+  and a local-NVMe vs shared-EBS snapshot-store tier.
+"""
+
+from repro.cluster.placement import (
+    PLACEMENT_NAMES,
+    HostView,
+    LeastLoaded,
+    PlacementPolicy,
+    RoundRobin,
+    SnapshotLocality,
+    make_placement,
+)
+from repro.cluster.scheduler import (
+    SNAPSHOT_TIERS,
+    TIER_LOCAL_NVME,
+    TIER_SHARED_EBS,
+    ClusterConfig,
+    ClusterReport,
+    ClusterSimulator,
+    HostStats,
+)
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterReport",
+    "ClusterSimulator",
+    "HostStats",
+    "HostView",
+    "LeastLoaded",
+    "PLACEMENT_NAMES",
+    "PlacementPolicy",
+    "RoundRobin",
+    "SNAPSHOT_TIERS",
+    "SnapshotLocality",
+    "TIER_LOCAL_NVME",
+    "TIER_SHARED_EBS",
+    "make_placement",
+]

@@ -1,0 +1,116 @@
+"""Placement policies: which host serves the next invocation.
+
+A policy sees a read-only sequence of per-host views and picks an
+index. The views expose exactly what production placers use:
+
+* ``load`` — invocations currently running or queued on the host;
+* ``has_idle_warm(function)`` — an idle warm VM of the function is
+  parked there (reuse avoids any restore at all);
+* ``has_snapshot_for(function)`` — the function's snapshot files are
+  reachable from the host (always true on the shared-storage tier
+  once any host has run the function).
+
+Policies must be deterministic: ties break on the lowest host index,
+and the only state a policy may keep is its own (e.g. the round-robin
+cursor), so a fresh policy instance per run reproduces the same
+placements.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, Sequence
+
+
+class HostView(abc.ABC):
+    """What a placement policy may observe about one host."""
+
+    index: int
+
+    @property
+    @abc.abstractmethod
+    def load(self) -> int:
+        """Invocations running or waiting for admission."""
+
+    @abc.abstractmethod
+    def has_idle_warm(self, function: str) -> bool: ...
+
+    @abc.abstractmethod
+    def has_snapshot_for(self, function: str) -> bool: ...
+
+
+class PlacementPolicy(abc.ABC):
+    """Chooses the host for one arriving invocation."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def choose(self, hosts: Sequence[HostView], function: str) -> int:
+        """Index of the host that should serve ``function``."""
+
+
+class RoundRobin(PlacementPolicy):
+    """Rotate through hosts regardless of state — the baseline that
+    spreads load but scatters each function's snapshots everywhere."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def choose(self, hosts: Sequence[HostView], function: str) -> int:
+        index = self._next % len(hosts)
+        self._next += 1
+        return index
+
+
+class LeastLoaded(PlacementPolicy):
+    """Send each invocation to the host with the fewest running or
+    queued invocations (ties to the lowest index)."""
+
+    name = "least-loaded"
+
+    def choose(self, hosts: Sequence[HostView], function: str) -> int:
+        return min(hosts, key=lambda h: (h.load, h.index)).index
+
+
+class SnapshotLocality(PlacementPolicy):
+    """Pack a function onto hosts that already hold its state.
+
+    Prefer a host with an idle warm VM of the function, then a host
+    whose storage already has the function's snapshot (its restore
+    may also hit warm page-cache pages); fall back to least-loaded.
+    Within each preference tier ties again break on (load, index).
+    """
+
+    name = "locality"
+
+    def choose(self, hosts: Sequence[HostView], function: str) -> int:
+        warm = [h for h in hosts if h.has_idle_warm(function)]
+        if warm:
+            return min(warm, key=lambda h: (h.load, h.index)).index
+        local = [h for h in hosts if h.has_snapshot_for(function)]
+        if local:
+            return min(local, key=lambda h: (h.load, h.index)).index
+        return min(hosts, key=lambda h: (h.load, h.index)).index
+
+
+_POLICIES: Dict[str, Callable[[], PlacementPolicy]] = {
+    RoundRobin.name: RoundRobin,
+    LeastLoaded.name: LeastLoaded,
+    SnapshotLocality.name: SnapshotLocality,
+}
+
+PLACEMENT_NAMES = tuple(sorted(_POLICIES))
+
+
+def make_placement(name: str) -> PlacementPolicy:
+    """A fresh policy instance by registry name."""
+    try:
+        factory = _POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown placement policy {name!r}; "
+            f"known: {', '.join(PLACEMENT_NAMES)}"
+        ) from None
+    return factory()

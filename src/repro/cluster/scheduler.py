@@ -1,0 +1,531 @@
+"""Contention-aware multi-host cluster serving.
+
+:class:`ClusterSimulator` serves an arrival trace across ``N``
+simulated :class:`~repro.core.host.Host` machines sharing one virtual
+clock. It keeps the fleet scheduler's serving hierarchy (warm reuse,
+snapshot restore, cold boot, keep-alive TTL, per-host memory budget)
+but replaces the static :class:`~repro.fleet.costs.FunctionCosts`
+table with the *actual page-level simulation*: every snapshot start
+runs the full restore — loader reads, guest faults, device queueing —
+on its host's own block device and page cache. Consequences the cost
+table cannot express become emergent:
+
+* concurrent restores on one host queue on its device (Fig. 10's
+  bursty-parallel effect), so 8 simultaneous starts are each slower
+  than an uncontended one;
+* with ``cold_cache_between_runs=False``, back-to-back restores of
+  the same function hit still-resident page-cache pages and speed up;
+* the shared-storage tier funnels every host's restores through one
+  remote device (Fig. 11's scenario), while the local-NVMe tier gives
+  each host its own.
+
+In the uncontended limit (one host, arrivals spaced apart,
+``cold_cache_between_runs=True``) the page-level path reproduces the
+cost-table latencies, because the cost model measures exactly this
+situation; a regression test pins the two within 1%.
+
+Timeline: the record phases that create each function's snapshot
+artefacts run in a *prep* epoch before the trace starts (the trace's
+``t=0`` is the end of prep), mirroring how the fleet layer's cost
+measurement happens outside the replayed trace. Whether the
+*scheduler* may use a snapshot still follows fleet semantics — a
+function's first completed invocation leaves its snapshot behind —
+unless ``assume_snapshots_exist`` pre-populates them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Sequence, Set
+
+from repro.cluster.placement import (
+    HostView,
+    PlacementPolicy,
+    make_placement,
+)
+from repro.core.host import Host
+from repro.core.policies import Policy
+from repro.core.restore import PlatformConfig, RecordArtifacts
+from repro.fleet.scheduler import (
+    ClusterScheduler,
+    FleetReport,
+    IdlePool,
+    PooledVm,
+    ServedInvocation,
+    StartKind,
+    US_PER_MINUTE,
+)
+from repro.fleet.workload import Arrival, ArrivalTrace, FleetFunction
+from repro.sim import Environment, Event, Resource
+from repro.storage.device import BlockDevice
+from repro.storage.filestore import PAGE_SIZE, FileStore
+from repro.storage.presets import EBS_IO2
+from repro.workloads.base import INPUT_A, InputSpec, WorkloadProfile
+from repro.workloads.registry import get_profile
+
+#: Snapshot-store tiers: every host restores from its own NVMe, or
+#: all hosts share one remote EBS-like volume (paper §6.5 / Fig. 11).
+TIER_LOCAL_NVME = "local-nvme"
+TIER_SHARED_EBS = "shared-ebs"
+SNAPSHOT_TIERS = (TIER_LOCAL_NVME, TIER_SHARED_EBS)
+
+#: Default cost-model test input (``CostModel.costs`` uses the same),
+#: so the uncontended cluster reproduces the cost table exactly.
+DEFAULT_TEST_INPUT = InputSpec(content_id=3, size_ratio=1.0)
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Cluster topology and scheduling policy knobs."""
+
+    #: Number of simulated hosts sharing the virtual clock.
+    num_hosts: int = 1
+    #: Placement policy registry name (see
+    #: :data:`repro.cluster.placement.PLACEMENT_NAMES`).
+    placement: str = "round-robin"
+    #: Restore policy used for snapshot starts.
+    restore_policy: Policy = Policy.FAASNAP
+    #: Keep a finished VM warm for this long (§2.1).
+    keep_alive_ttl_us: float = 15 * US_PER_MINUTE
+    #: Memory available for VMs on EACH host, MB.
+    memory_budget_mb: float = 16_384.0
+    #: Disable to model a platform with no snapshot tier.
+    snapshots_enabled: bool = True
+    #: Where snapshot files live: per-host NVMe or one shared volume.
+    snapshot_tier: str = TIER_LOCAL_NVME
+    #: Admission limit: invocations allowed to run concurrently on
+    #: one host (None = unlimited); excess arrivals queue FIFO.
+    max_concurrent_per_host: Optional[int] = None
+    #: Evict a function's snapshot pages from the host page cache
+    #: before an uncontended restore — the paper's between-tests
+    #: methodology (§6.1), and what the cost table assumes. Disable to
+    #: let back-to-back restores reuse still-resident pages.
+    cold_cache_between_runs: bool = True
+    #: Treat every function's snapshot as already captured, instead
+    #: of requiring a first completed invocation (fleet semantics).
+    assume_snapshots_exist: bool = False
+    #: Inputs for the serving invocations / the prep record phases.
+    test_input: InputSpec = DEFAULT_TEST_INPUT
+    record_input: InputSpec = INPUT_A
+    #: Per-host platform tunables (device spec, batching, CPU slots).
+    platform: PlatformConfig = PlatformConfig()
+
+    def __post_init__(self) -> None:
+        if self.num_hosts < 1:
+            raise ValueError("need at least one host")
+        if self.snapshot_tier not in SNAPSHOT_TIERS:
+            raise ValueError(
+                f"unknown snapshot tier {self.snapshot_tier!r}; "
+                f"known: {', '.join(SNAPSHOT_TIERS)}"
+            )
+        if (
+            self.max_concurrent_per_host is not None
+            and self.max_concurrent_per_host < 1
+        ):
+            raise ValueError("max_concurrent_per_host must be >= 1")
+
+
+@dataclass
+class HostStats:
+    """Per-host accounting of one cluster run."""
+
+    host: str
+    invocations: int = 0
+    warm_starts: int = 0
+    snapshot_starts: int = 0
+    cold_starts: int = 0
+    evictions: int = 0
+    #: Time arrivals spent waiting for an admission slot, microseconds.
+    admission_wait_us: float = 0.0
+    #: Snapshot-device counters over the serving epoch. On the
+    #: shared-storage tier every host reports the shared device, so
+    #: these repeat the cluster-wide totals.
+    device_requests: int = 0
+    device_bytes_read: int = 0
+    device_queue_wait_us: float = 0.0
+
+
+@dataclass
+class ClusterReport(FleetReport):
+    """A :class:`FleetReport` plus per-host attribution."""
+
+    host_stats: Dict[str, HostStats] = field(default_factory=dict)
+    #: Virtual time the prep epoch (record phases) took.
+    prep_us: float = 0.0
+    placement: str = ""
+    snapshot_tier: str = TIER_LOCAL_NVME
+
+    def count_on(self, host: str) -> int:
+        return sum(1 for s in self.served if s.host == host)
+
+
+class _HostState(HostView):
+    """One host plus the scheduler's bookkeeping about it."""
+
+    def __init__(self, index: int, host: Host, config: ClusterConfig):
+        self.index = index
+        self.host = host
+        self.idle = IdlePool()
+        self.active = 0
+        self.queued = 0
+        self.memory_mb = 0.0
+        self.admission: Optional[Resource] = (
+            Resource(host.env, config.max_concurrent_per_host)
+            if config.max_concurrent_per_host is not None
+            else None
+        )
+        #: Functions whose snapshot the scheduler may restore here
+        #: (shared-storage hosts alias one cluster-wide set).
+        self.snapshots: Set[str] = set()
+        #: Learned warm RSS per function, MB.
+        self.known_memory: Dict[str, float] = {}
+        #: Snapshot restores in flight, per function — guards the
+        #: cold-cache eviction so one restore never evicts pages a
+        #: concurrent restore of the same function is loading.
+        self.disk_active: Dict[str, int] = {}
+        #: Load-once loader gates, refcounted per snapshot so only
+        #: *overlapping* restores share one (a later restore must
+        #: re-run the loader; the pages may have been evicted).
+        self.gates: Dict[str, List[Any]] = {}
+        self.stats = HostStats(host=host.host_id)
+        self.tracer = None
+
+    # -- HostView ------------------------------------------------------
+
+    @property
+    def load(self) -> int:
+        return self.active + self.queued
+
+    def has_idle_warm(self, function: str) -> bool:
+        return self.idle.has_idle(function)
+
+    def has_snapshot_for(self, function: str) -> bool:
+        return function in self.snapshots
+
+    # -- loader gates --------------------------------------------------
+
+    def acquire_gate(self, artifacts: RecordArtifacts) -> set:
+        key = artifacts.warm_snapshot.memory_file.name
+        entry = self.gates.get(key)
+        if entry is None:
+            entry = self.gates[key] = [set(), 0]
+        entry[1] += 1
+        return entry[0]
+
+    def release_gate(self, artifacts: RecordArtifacts) -> None:
+        key = artifacts.warm_snapshot.memory_file.name
+        entry = self.gates[key]
+        entry[1] -= 1
+        if entry[1] == 0:
+            del self.gates[key]
+
+
+class ClusterSimulator(ClusterScheduler):
+    """Serves a fleet trace on N page-level simulated hosts."""
+
+    def __init__(
+        self,
+        fleet: Sequence[FleetFunction],
+        config: Optional[ClusterConfig] = None,
+    ):
+        self.fleet = list(fleet)
+        names = [f.name for f in self.fleet]
+        if len(set(names)) != len(names):
+            raise ValueError("fleet function names must be unique")
+        self.config = config or ClusterConfig()
+        #: Each fleet function gets its own clone of its Table 2
+        #: profile, so distinct functions have distinct snapshot files
+        #: even when they share a behaviour profile.
+        self._profiles: Dict[str, WorkloadProfile] = {
+            f.name: dataclasses.replace(
+                get_profile(f.profile_name), name=f.name
+            )
+            for f in self.fleet
+        }
+
+    # -- public entry points -------------------------------------------
+
+    def run(self, trace: ArrivalTrace, tracer=None) -> ClusterReport:
+        """Serve every arrival; fresh hosts and a fresh clock per
+        call, so repeated runs are bit-identical.
+
+        ``tracer`` (a :class:`repro.metrics.tracing.Tracer`) collects
+        a span tree per served invocation, each span tagged with the
+        id of the host that ran it.
+        """
+        env = Environment()
+        self.env = env
+        self._report = ClusterReport(
+            placement=self.config.placement,
+            snapshot_tier=self.config.snapshot_tier,
+        )
+        self._placement: PlacementPolicy = make_placement(
+            self.config.placement
+        )
+        self._build_hosts(env, tracer)
+        driver = env.process(self._driver(trace), name="cluster-driver")
+        env.run(until=driver)
+        report = self._report
+        for hs in self._hosts:
+            stats = hs.stats
+            stats.device_requests = hs.host.device.stats.requests
+            stats.device_bytes_read = hs.host.device.stats.bytes_read
+            stats.device_queue_wait_us = hs.host.device.stats.queue_wait_us
+            report.host_stats[stats.host] = stats
+        # Completion order depends on latencies; report in the
+        # canonical arrival order instead so reports compare equal
+        # across runs regardless of how service times interleave.
+        report.served.sort(key=lambda s: (s.time_us, s.function))
+        return report
+
+    # -- construction --------------------------------------------------
+
+    def _build_hosts(self, env: Environment, tracer) -> None:
+        config = self.config
+        shared_store: Optional[FileStore] = None
+        if config.snapshot_tier == TIER_SHARED_EBS:
+            shared_device = BlockDevice(env, EBS_IO2)
+            shared_store = FileStore(env, shared_device)
+        self._hosts: List[_HostState] = []
+        shared_snapshots: Set[str] = set()
+        for index in range(config.num_hosts):
+            host = Host(
+                env,
+                config=config.platform,
+                host_id=f"host{index}",
+                store=shared_store,
+            )
+            hs = _HostState(index, host, config)
+            if shared_store is not None:
+                # One volume: a snapshot captured anywhere restores
+                # anywhere.
+                hs.snapshots = shared_snapshots
+            if tracer is not None:
+                hs.tracer = tracer.tagged(host=host.host_id)
+            self._hosts.append(hs)
+
+    def _record_plan(self) -> List[Policy]:
+        """Record-phase policies needed per function: every start kind
+        eventually runs a plain (sanitize=False) invocation — warm
+        reuse and cold boots both do — and FaaSnap-family restores
+        additionally need the sanitized record."""
+        plan = [Policy.WARM]
+        if self.config.restore_policy.is_faasnap_family:
+            plan.append(self.config.restore_policy)
+        elif self.config.restore_policy is not Policy.WARM:
+            # REAP / Firecracker / cached share the plain record; the
+            # plain record already produces their artefacts.
+            pass
+        return plan
+
+    def _prepare(self) -> Generator[Event, Any, None]:
+        """Prep epoch: run every needed record phase, then return the
+        hosts to a cold-cache state."""
+        config = self.config
+        shared = config.snapshot_tier == TIER_SHARED_EBS
+        recorders = self._hosts[:1] if shared else self._hosts
+        for hs in recorders:
+            for fleet_fn in self.fleet:
+                profile = self._profiles[fleet_fn.name]
+                for policy in self._record_plan():
+                    artifacts = yield from hs.host.record_process(
+                        profile, config.record_input, policy
+                    )
+                    if shared:
+                        for other in self._hosts[1:]:
+                            other.host.adopt_artifacts(
+                                config.record_input, artifacts
+                            )
+        for hs in self._hosts:
+            hs.host.drop_caches()
+
+    # -- serving -------------------------------------------------------
+
+    def _driver(self, trace: ArrivalTrace) -> Generator[Event, Any, None]:
+        env = self.env
+        yield from self._prepare()
+        prep_end = env.now
+        self._report.prep_us = prep_end
+        processes = []
+        for arrival in trace.arrivals:
+            instant = prep_end + arrival.time_us
+            if env.now < instant:
+                yield env.wake_at(instant)
+            for hs in self._hosts:
+                self._evict_expired(hs, env.now)
+            index = self._placement.choose(self._hosts, arrival.function)
+            hs = self._hosts[index]
+            # Count the placement immediately — the serve process only
+            # starts after the driver yields, and same-instant arrivals
+            # must see each other's load.
+            hs.queued += 1
+            processes.append(
+                env.process(
+                    self._serve(hs, arrival, instant),
+                    name=f"serve:{arrival.function}@{hs.host.host_id}",
+                )
+            )
+            # Sampled at each arrival, before its VM reserves memory —
+            # in-use memory across all hosts.
+            self._report.memory_samples_mb.append(
+                sum(h.memory_mb for h in self._hosts)
+            )
+        if processes:
+            yield env.all_of(processes)
+
+    def _evict_expired(self, hs: _HostState, now: float) -> None:
+        for vm in hs.idle.pop_expired(now, self.config.keep_alive_ttl_us):
+            hs.memory_mb -= vm.memory_mb
+            hs.stats.evictions += 1
+            self._report.evictions += 1
+
+    def _evict_until_fits(self, hs: _HostState, extra_mb: float) -> None:
+        while hs.memory_mb + extra_mb > self.config.memory_budget_mb:
+            vm = hs.idle.pop_lru()
+            if vm is None:
+                break
+            hs.memory_mb -= vm.memory_mb
+            hs.stats.evictions += 1
+            self._report.evictions += 1
+
+    def _artifacts_for(
+        self, hs: _HostState, function: str, policy: Policy
+    ) -> RecordArtifacts:
+        artifacts = hs.host.cached_artifacts(
+            function, self.config.record_input, policy
+        )
+        if artifacts is None:  # pragma: no cover - prep guarantees it
+            raise RuntimeError(
+                f"no record artefacts for {function!r} on "
+                f"{hs.host.host_id}"
+            )
+        return artifacts
+
+    def _serve(
+        self, hs: _HostState, arrival: Arrival, instant: float
+    ) -> Generator[Event, Any, None]:
+        env = self.env
+        config = self.config
+        function = arrival.function
+
+        # The driver counted us into ``hs.queued`` at placement time.
+        slot = None
+        if hs.admission is not None:
+            slot = hs.admission.request()
+            yield slot
+        hs.queued -= 1
+        hs.active += 1
+        hs.stats.admission_wait_us += env.now - instant
+        try:
+            vm = hs.idle.reuse_mru(function)
+            if vm is not None:
+                kind = StartKind.WARM
+                result = yield from hs.host.invocation(
+                    self._artifacts_for(hs, function, Policy.WARM),
+                    config.test_input,
+                    Policy.WARM,
+                    tracer=hs.tracer,
+                )
+            else:
+                has_snapshot = config.snapshots_enabled and (
+                    config.assume_snapshots_exist
+                    or function in hs.snapshots
+                )
+                kind = (
+                    StartKind.SNAPSHOT if has_snapshot else StartKind.COLD
+                )
+                estimate = hs.known_memory.get(function, 0.0)
+                self._evict_until_fits(hs, estimate)
+                hs.memory_mb += estimate
+                vm = PooledVm(
+                    function=function,
+                    memory_mb=estimate,
+                    busy_until=0.0,
+                    last_used=env.now,
+                )
+                if kind is StartKind.SNAPSHOT:
+                    result = yield from self._snapshot_start(hs, function)
+                else:
+                    result = yield from self._cold_start(hs, function)
+
+            # Learn the function's warm footprint from the actual VM.
+            actual_mb = result.rss_pages * PAGE_SIZE / 1e6
+            hs.memory_mb += actual_mb - vm.memory_mb
+            vm.memory_mb = actual_mb
+            hs.known_memory[function] = actual_mb
+            # The first completed invocation leaves a snapshot behind
+            # (fleet semantics; shared storage publishes cluster-wide).
+            hs.snapshots.add(function)
+
+            now = env.now
+            vm.busy_until = now
+            vm.last_used = now
+            if config.keep_alive_ttl_us > 0:
+                hs.idle.park(vm)
+            else:
+                hs.memory_mb -= vm.memory_mb
+
+            hs.stats.invocations += 1
+            if kind is StartKind.WARM:
+                hs.stats.warm_starts += 1
+            elif kind is StartKind.SNAPSHOT:
+                hs.stats.snapshot_starts += 1
+            else:
+                hs.stats.cold_starts += 1
+            self._report.served.append(
+                ServedInvocation(
+                    time_us=arrival.time_us,
+                    function=function,
+                    kind=kind,
+                    latency_us=now - instant,
+                    host=hs.host.host_id,
+                )
+            )
+        finally:
+            hs.active -= 1
+            if slot is not None:
+                hs.admission.release(slot)
+
+    def _snapshot_start(self, hs: _HostState, function: str):
+        """Page-level snapshot restore + invocation on ``hs``."""
+        config = self.config
+        artifacts = self._artifacts_for(hs, function, config.restore_policy)
+        in_flight = hs.disk_active.get(function, 0)
+        hs.disk_active[function] = in_flight + 1
+        if config.cold_cache_between_runs and in_flight == 0:
+            # Nobody else is restoring this function here: reproduce
+            # the cost-table methodology (cold caches, fresh readahead
+            # window) for a function that has not run recently.
+            hs.host.drop_function_caches(artifacts)
+        gate = hs.acquire_gate(artifacts)
+        try:
+            result = yield from hs.host.invocation(
+                artifacts,
+                config.test_input,
+                config.restore_policy,
+                loader_gate=gate,
+                tracer=hs.tracer,
+            )
+        finally:
+            hs.release_gate(artifacts)
+            hs.disk_active[function] -= 1
+        return result
+
+    def _cold_start(self, hs: _HostState, function: str):
+        """VMM start + kernel boot + runtime init, then the invocation
+        runs warm-equivalent (nothing pages in from a snapshot)."""
+        config = self.config
+        profile = self._profiles[function]
+        yield self.env.timeout(
+            config.platform.vmm.vmm_start_us
+            + config.platform.vmm.cold_boot_us
+            + profile.runtime_init_us
+        )
+        result = yield from hs.host.invocation(
+            self._artifacts_for(hs, function, Policy.WARM),
+            config.test_input,
+            Policy.WARM,
+            tracer=hs.tracer,
+        )
+        return result

@@ -30,6 +30,7 @@ burst-invoke).
 from repro.core.adaptive import AdaptiveConfig, AdaptiveSnapshotManager
 from repro.core.analysis import CoverageReport, faasnap_coverage, reap_coverage
 from repro.core.daemon import FaaSnapPlatform, FunctionHandle, PlatformConfig
+from repro.core.host import Host
 from repro.core.loading_set import LoadingRegion, LoadingSet, build_loading_set
 from repro.core.mapping import build_faasnap_plan, nonzero_regions
 from repro.core.policies import Policy
@@ -44,6 +45,7 @@ __all__ = [
     "CoverageReport",
     "FaaSnapPlatform",
     "FunctionHandle",
+    "Host",
     "InvocationResult",
     "LoadingRegion",
     "LoadingSet",

@@ -15,6 +15,13 @@ your Python code:
     result = platform.invoke(fn, INPUT_A, Policy.FAASNAP)
     print(result.total_ms)
 
+All per-machine state (device, file store, page cache, CPU slots,
+record-artifact cache) lives in a :class:`~repro.core.host.Host`; the
+platform owns exactly one host with a private clock and adds the
+function registry and the record/test-phase orchestration on top.
+Multi-host serving — N hosts on one shared clock, with placement and
+contention — is :mod:`repro.cluster`, built from the same ``Host``.
+
 Record phases run lazily: the first invocation of a (function,
 record-input, policy-family) combination performs the record phase
 and caches its artefacts, exactly like the paper's two-phase
@@ -25,23 +32,17 @@ invocation, as the paper does.
 from __future__ import annotations
 
 import dataclasses
-import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro.core.host import Host
 from repro.core.policies import Policy
 from repro.core.restore import (
     InvocationResult,
     PlatformConfig,
     RecordArtifacts,
-    invocation_process,
-    run_record_phase,
 )
-from repro.host.page_cache import PageCache
-from repro.sim import Environment, Resource
-from repro.storage.device import BlockDevice
-from repro.storage.filestore import FileStore
-from repro.storage.presets import EBS_IO2, NVME_LOCAL
+from repro.sim import Environment
 from repro.workloads.base import INPUT_A, InputSpec, WorkloadProfile
 from repro.workloads.registry import get_profile
 
@@ -58,9 +59,6 @@ class FunctionHandle:
     wipe_pages: Tuple[int, ...] = ()
 
 
-_ArtifactKey = Tuple[str, int, float, bool]
-
-
 class FaaSnapPlatform:
     """One simulated FaaS host with a policy-switchable restore path."""
 
@@ -69,32 +67,50 @@ class FaaSnapPlatform:
         config: Optional[PlatformConfig] = None,
         remote_storage: bool = False,
     ):
-        self.config = config or PlatformConfig()
-        if remote_storage:
-            self.config = dataclasses.replace(self.config, device=EBS_IO2)
-        self.env = Environment()
-        self.device = BlockDevice(self.env, self.config.device)
-        self.store = FileStore(self.env, self.device)
-        if self.config.tiered_storage:
-            # Small derived files (loading sets, working sets) stay on
-            # a local NVMe SSD while the big memory files live on the
-            # primary (usually remote) device (§7.2).
-            self.local_device = BlockDevice(self.env, NVME_LOCAL)
-            self.artifact_store: FileStore = FileStore(
-                self.env, self.local_device
-            )
-        else:
-            self.local_device = None
-            self.artifact_store = self.store
-        self.cache = PageCache(self.env)
-        self.cpu = (
-            Resource(self.env, self.config.cpu_slots)
-            if self.config.cpu_slots is not None
-            else None
+        self.host = Host(
+            Environment(), config=config, remote_storage=remote_storage
         )
         self._functions: Dict[str, FunctionHandle] = {}
-        self._artifacts: Dict[_ArtifactKey, RecordArtifacts] = {}
-        self._tags = itertools.count()
+
+    # -- host delegation ---------------------------------------------------
+    # The per-machine state was extracted into Host; these aliases keep
+    # the platform's public surface (and a lot of test plumbing) stable.
+
+    @property
+    def config(self) -> PlatformConfig:
+        return self.host.config
+
+    @property
+    def env(self) -> Environment:
+        return self.host.env
+
+    @property
+    def device(self):
+        return self.host.device
+
+    @property
+    def store(self):
+        return self.host.store
+
+    @property
+    def local_device(self):
+        return self.host.local_device
+
+    @property
+    def artifact_store(self):
+        return self.host.artifact_store
+
+    @property
+    def cache(self):
+        return self.host.cache
+
+    @property
+    def cpu(self):
+        return self.host.cpu
+
+    @property
+    def _artifacts(self):
+        return self.host._artifacts
 
     # -- functions -----------------------------------------------------
 
@@ -137,35 +153,21 @@ class FaaSnapPlatform:
         FaaSnap-family policies record with mincore tracking and
         freed-page sanitization; the others share a plain record.
         """
-        sanitize = policy.is_faasnap_family
-        key = (
-            function.name,
-            record_input.content_id,
-            record_input.size_ratio,
-            sanitize,
+        cached = self.host.cached_artifacts(
+            function.name, record_input, policy
         )
-        cached = self._artifacts.get(key)
         if cached is not None:
             return cached
-        tag = f"{function.name}.{'fs' if sanitize else 'std'}.{next(self._tags)}"
         process = self.env.process(
-            run_record_phase(
-                self.env,
-                self.config,
-                self.store,
-                self.cache,
+            self.host.record_process(
                 function.profile,
                 record_input,
-                sanitize,
-                tag,
+                policy,
                 wipe_pages=function.wipe_pages,
-                artifact_store=self.artifact_store,
             ),
-            name=f"record:{tag}",
+            name=f"record:{function.name}",
         )
-        artifacts = self.env.run(until=process)
-        self._artifacts[key] = artifacts
-        return artifacts
+        return self.env.run(until=process)
 
     # -- invocation -------------------------------------------------------
 
@@ -193,20 +195,15 @@ class FaaSnapPlatform:
         )
         if drop_caches:
             self.drop_caches()
-        tag = f"{function.name}.{policy.value}.{next(self._tags)}"
+        tag = f"{function.name}.{policy.value}.{self.host.next_tag()}"
         process = self.env.process(
-            invocation_process(
-                self.env,
-                self.config,
-                self.store,
-                self.cache,
-                self.cpu,
+            self.host.invocation(
                 artifacts,
                 test_input,
                 policy,
-                tag,
                 loader_gate=set(),
                 tracer=tracer,
+                tag=tag,
             ),
             name=f"invoke:{tag}",
         )
@@ -255,20 +252,18 @@ class FaaSnapPlatform:
         loader_gate: set = set()
         processes = []
         for index, artifacts in enumerate(artifact_list):
-            tag = f"{function.name}.{policy.value}.burst{index}.{next(self._tags)}"
+            tag = (
+                f"{function.name}.{policy.value}.burst{index}."
+                f"{self.host.next_tag()}"
+            )
             processes.append(
                 self.env.process(
-                    invocation_process(
-                        self.env,
-                        self.config,
-                        self.store,
-                        self.cache,
-                        self.cpu,
+                    self.host.invocation(
                         artifacts,
                         test_input,
                         policy,
-                        tag,
                         loader_gate=loader_gate,
+                        tag=tag,
                     ),
                     name=f"invoke:{tag}",
                 )
@@ -283,7 +278,7 @@ class FaaSnapPlatform:
         files, for different-snapshot bursts."""
         clones = []
         for _ in range(count):
-            clone_name = f"{function.name}@clone{next(self._tags)}"
+            clone_name = f"{function.name}@clone{self.host.next_tag()}"
             clones.append(
                 self.register_function(
                     dataclasses.replace(function.profile, name=clone_name)
@@ -296,7 +291,4 @@ class FaaSnapPlatform:
     def drop_caches(self) -> None:
         """Evict the whole page cache and reset device counters
         (``echo 3 > /proc/sys/vm/drop_caches`` between tests, §6.1)."""
-        self.cache.drop_all()
-        self.device.reset_stats()
-        if self.local_device is not None:
-            self.local_device.reset_stats()
+        self.host.drop_caches()

@@ -182,6 +182,20 @@ class InvocationResult:
         return sum(r.bytes_read for r in self.fault_records)
 
 
+def artifact_file_names(artifacts: RecordArtifacts) -> List[str]:
+    """Names of the files a test-phase invocation of ``artifacts`` can
+    touch: the warm memory file plus the loading-set / working-set
+    file. Used for per-function footprint accounting and for evicting
+    one function's pages from a host cache (the clean snapshot is only
+    read during the record phase and is excluded)."""
+    names = [artifacts.warm_snapshot.memory_file.name]
+    if artifacts.loading_file is not None:
+        names.append(artifacts.loading_file.name)
+    if artifacts.reap_ws_file is not None:
+        names.append(artifacts.reap_ws_file.name)
+    return names
+
+
 def run_record_phase(
     env: Environment,
     config: PlatformConfig,
@@ -502,11 +516,7 @@ def invocation_process(
                 f"{loader_stats.requests} requests"
             )
 
-    function_files = [warm.memory_file.name]
-    if artifacts.loading_file is not None:
-        function_files.append(artifacts.loading_file.name)
-    if artifacts.reap_ws_file is not None:
-        function_files.append(artifacts.reap_ws_file.name)
+    function_files = artifact_file_names(artifacts)
     cache_pages = sum(cache.count_for_file(name) for name in function_files)
     private_buffer_pages = (
         len(artifacts.reap_ws)

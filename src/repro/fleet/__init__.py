@@ -22,9 +22,13 @@ This package makes that tradeoff measurable:
 
 from repro.fleet.costs import CostModel, FunctionCosts
 from repro.fleet.scheduler import (
+    ClusterScheduler,
     FleetConfig,
     FleetReport,
     FleetSimulator,
+    IdlePool,
+    PooledVm,
+    ServedInvocation,
     StartKind,
 )
 from repro.fleet.workload import (
@@ -36,12 +40,16 @@ from repro.fleet.workload import (
 
 __all__ = [
     "ArrivalTrace",
+    "ClusterScheduler",
     "CostModel",
     "FleetConfig",
     "FleetFunction",
     "FleetReport",
     "FleetSimulator",
     "FunctionCosts",
+    "IdlePool",
+    "PooledVm",
+    "ServedInvocation",
     "StartKind",
     "generate_arrivals",
     "synthesize_fleet",

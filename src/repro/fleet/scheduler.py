@@ -6,15 +6,26 @@ and cold-boots otherwise. Warm VMs are kept alive for a TTL after
 their last invocation (AWS Lambda keeps 15-60 minutes, §2.1) and are
 evicted LRU-first under a host memory budget — eviction-to-snapshot
 being exactly the role the paper assigns FaaSnap.
+
+:class:`FleetSimulator` is the *fast path*: it replays arrivals
+against a static per-function cost table, so a million-invocation
+trace runs in milliseconds but concurrent restores cannot contend.
+The page-level, multi-host path lives in
+:class:`repro.cluster.ClusterSimulator`; both implement the common
+:class:`ClusterScheduler` interface so experiments can switch between
+them.
 """
 
 from __future__ import annotations
 
+import abc
 import enum
 import heapq
 import itertools
+import math
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.policies import Policy
 from repro.fleet.costs import CostModel, FunctionCosts
@@ -45,11 +56,90 @@ class FleetConfig:
 
 
 @dataclass
-class _Vm:
+class PooledVm:
+    """A VM tracked by the keep-alive machinery (fleet and cluster)."""
+
     function: str
     memory_mb: float
     busy_until: float
     last_used: float
+    #: True while the VM sits in an idle pool; cleared on reuse and
+    #: eviction so stale heap entries can be recognised and skipped.
+    idle: bool = False
+
+
+_Vm = PooledVm
+
+
+class IdlePool:
+    """Idle VMs indexed two ways: per-function deques ordered
+    oldest-first by ``last_used`` (completions arrive in completion
+    order, so appends keep the order), and a lazy global min-heap over
+    ``last_used`` for TTL expiry and LRU eviction.
+
+    A VM reused or evicted since its heap entry was pushed leaves the
+    entry behind as garbage; consumers detect that by re-checking
+    ``vm.idle`` and the recorded timestamp. This replaces the old
+    rescan-every-pool / ``list.remove`` bookkeeping that made large
+    traces O(n²).
+    """
+
+    def __init__(self) -> None:
+        self._pools: Dict[str, Deque[PooledVm]] = {}
+        self._heap: List[Tuple[float, int, PooledVm]] = []
+        self._seq = itertools.count()
+
+    def park(self, vm: PooledVm) -> None:
+        vm.idle = True
+        self._pools.setdefault(vm.function, deque()).append(vm)
+        heapq.heappush(self._heap, (vm.last_used, next(self._seq), vm))
+
+    def _unpark(self, vm: PooledVm) -> None:
+        pool = self._pools[vm.function]
+        if pool[-1] is vm:
+            pool.pop()
+        elif pool[0] is vm:
+            pool.popleft()
+        else:  # pragma: no cover - equal-timestamp stragglers
+            pool.remove(vm)
+        vm.idle = False
+
+    def has_idle(self, function: str) -> bool:
+        return bool(self._pools.get(function))
+
+    def reuse_mru(self, function: str) -> Optional[PooledVm]:
+        """Claim the most recently used idle VM of ``function``."""
+        pool = self._pools.get(function)
+        if not pool:
+            return None
+        vm = pool[-1]
+        self._unpark(vm)
+        return vm
+
+    def pop_expired(self, now: float, ttl_us: float) -> List[PooledVm]:
+        """Claim every idle VM whose keep-alive has lapsed."""
+        expired: List[PooledVm] = []
+        while self._heap:
+            parked_at, _, vm = self._heap[0]
+            if not vm.idle or vm.last_used != parked_at:
+                heapq.heappop(self._heap)  # stale entry
+                continue
+            if now - parked_at > ttl_us:
+                heapq.heappop(self._heap)
+                self._unpark(vm)
+                expired.append(vm)
+            else:
+                break  # the oldest survivor fixes all the rest
+        return expired
+
+    def pop_lru(self) -> Optional[PooledVm]:
+        """Claim the least recently used idle VM, if any."""
+        while self._heap:
+            parked_at, _, vm = heapq.heappop(self._heap)
+            if vm.idle and vm.last_used == parked_at:
+                self._unpark(vm)
+                return vm
+        return None
 
 
 @dataclass
@@ -58,6 +148,9 @@ class ServedInvocation:
     function: str
     kind: StartKind
     latency_us: float
+    #: Host that served the invocation (single-host schedulers use
+    #: the default).
+    host: str = "host0"
 
 
 @dataclass
@@ -78,14 +171,16 @@ class FleetReport:
         return self.count(kind) / len(self.served) if self.served else 0.0
 
     def latency_percentile(self, percentile: float) -> float:
-        """Latency at ``percentile`` (0..100), microseconds."""
+        """Latency at ``percentile`` (0..100) by the nearest-rank
+        method: the smallest observation with at least ``percentile``
+        percent of the sample at or below it, microseconds."""
         if not self.served:
             return 0.0
         ordered = sorted(s.latency_us for s in self.served)
-        index = min(
-            len(ordered) - 1, int(percentile / 100.0 * len(ordered))
-        )
-        return ordered[index]
+        if percentile <= 0:
+            return ordered[0]
+        rank = math.ceil(percentile / 100.0 * len(ordered))
+        return ordered[min(len(ordered), rank) - 1]
 
     def mean_latency_us(self) -> float:
         if not self.served:
@@ -98,7 +193,21 @@ class FleetReport:
         return sum(self.memory_samples_mb) / len(self.memory_samples_mb)
 
 
-class FleetSimulator:
+class ClusterScheduler(abc.ABC):
+    """Anything that replays an arrival trace into a report.
+
+    The cost-table :class:`FleetSimulator` and the page-level
+    :class:`repro.cluster.ClusterSimulator` both satisfy this, so
+    fleet experiments can swap the fast path for the contention-aware
+    path without changing their driver code.
+    """
+
+    @abc.abstractmethod
+    def run(self, trace: ArrivalTrace) -> FleetReport:
+        """Serve every arrival in ``trace`` and report the outcome."""
+
+
+class FleetSimulator(ClusterScheduler):
     """Replays an arrival trace against measured serving costs."""
 
     def __init__(
@@ -126,7 +235,7 @@ class FleetSimulator:
 
     def run(self, trace: ArrivalTrace) -> FleetReport:
         report = FleetReport()
-        idle: Dict[str, List[_Vm]] = {name: [] for name in self.fleet}
+        idle = IdlePool()
         running: List = []  # heap of (busy_until, seq, _Vm)
         seq = itertools.count()
         has_snapshot: Dict[str, bool] = {name: False for name in self.fleet}
@@ -141,33 +250,22 @@ class FleetSimulator:
                 has_snapshot[vm.function] = True
                 if self.config.keep_alive_ttl_us > 0:
                     vm.last_used = vm.busy_until
-                    idle[vm.function].append(vm)
+                    idle.park(vm)
                 else:
                     memory_mb -= vm.memory_mb
 
         def evict_expired(now: float) -> None:
             nonlocal memory_mb
-            ttl = self.config.keep_alive_ttl_us
-            for pool in idle.values():
-                keep = []
-                for vm in pool:
-                    if now - vm.last_used > ttl:
-                        memory_mb -= vm.memory_mb
-                        report.evictions += 1
-                    else:
-                        keep.append(vm)
-                pool[:] = keep
+            for vm in idle.pop_expired(now, self.config.keep_alive_ttl_us):
+                memory_mb -= vm.memory_mb
+                report.evictions += 1
 
         def evict_lru_until_fits(extra_mb: float) -> None:
             nonlocal memory_mb
-            candidates = [
-                vm for pool in idle.values() for vm in pool
-            ]
-            candidates.sort(key=lambda vm: vm.last_used)
-            for vm in candidates:
-                if memory_mb + extra_mb <= self.config.memory_budget_mb:
+            while memory_mb + extra_mb > self.config.memory_budget_mb:
+                vm = idle.pop_lru()
+                if vm is None:
                     break
-                idle[vm.function].remove(vm)
                 memory_mb -= vm.memory_mb
                 report.evictions += 1
 
@@ -178,11 +276,10 @@ class FleetSimulator:
 
             name = arrival.function
             costs = self._costs[name]
-            pool = idle[name]
-            if pool:
-                # Reuse the most recently used warm VM.
-                vm = max(pool, key=lambda v: v.last_used)
-                pool.remove(vm)
+            # Reuse the most recently used warm VM, if any.
+            reused = idle.reuse_mru(name)
+            if reused is not None:
+                vm = reused
                 kind = StartKind.WARM
                 latency = costs.warm_us
             else:
@@ -194,7 +291,7 @@ class FleetSimulator:
                     latency = costs.cold_us
                 evict_lru_until_fits(costs.warm_memory_mb)
                 memory_mb += costs.warm_memory_mb
-                vm = _Vm(
+                vm = PooledVm(
                     function=name,
                     memory_mb=costs.warm_memory_mb,
                     busy_until=0.0,

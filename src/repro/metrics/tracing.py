@@ -4,14 +4,23 @@ The paper's artifact evaluates runs by inspecting per-invocation
 traces in Zipkin (appendix A.4: "the execution traces of invocations
 are accessible on the Zipkin web page"). This module provides the
 same visibility for simulated invocations: a :class:`Tracer` records
-nested spans on the simulated timeline, and :func:`render_trace`
-prints them as an indented tree with durations.
+nested spans on the simulated timeline, :func:`render_trace` prints
+them as an indented tree with durations, and
+:meth:`Tracer.to_json` exports the Zipkin-flavoured JSON document
+that the CLI's ``--trace-out`` writes.
+
+Spans carry string *tags* (Zipkin's binary annotations). The cluster
+scheduler hands each host a :meth:`Tracer.tagged` view — a tracer
+that shares the parent's root list but stamps everything it records
+with e.g. ``host=host3`` — so a multi-host trace keeps per-host
+attribution while still serialising as one document.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 
 @dataclass
@@ -23,6 +32,8 @@ class Span:
     end_us: Optional[float] = None
     children: List["Span"] = field(default_factory=list)
     annotations: List[str] = field(default_factory=list)
+    #: Zipkin-style key/value tags (e.g. ``{"host": "host2"}``).
+    tags: Dict[str, str] = field(default_factory=dict)
 
     @property
     def duration_us(self) -> float:
@@ -33,6 +44,9 @@ class Span:
     def annotate(self, note: str) -> None:
         self.annotations.append(note)
 
+    def tag(self, key: str, value: str) -> None:
+        self.tags[key] = value
+
     def to_dict(self) -> dict:
         """JSON-ready representation (Zipkin-flavoured fields)."""
         return {
@@ -42,6 +56,7 @@ class Span:
                 self.end_us - self.start_us if self.end_us is not None else None
             ),
             "annotations": list(self.annotations),
+            "tags": dict(self.tags),
             "children": [child.to_dict() for child in self.children],
         }
 
@@ -57,16 +72,47 @@ class Span:
 
 
 class Tracer:
-    """Records a tree of spans against a simulation clock."""
+    """Records a tree of spans against a simulation clock.
 
-    def __init__(self, env):
+    ``default_tags`` are stamped onto every span this tracer creates;
+    :meth:`tagged` derives a view with extra defaults that records
+    into the same document.
+
+    ``env`` may be None for a tracer that only collects post-hoc
+    :meth:`record` spans (timestamps supplied by the caller) —
+    :meth:`start` needs a clock and requires an environment.
+    """
+
+    def __init__(self, env=None, default_tags: Optional[Dict[str, str]] = None):
         self.env = env
+        self.default_tags: Dict[str, str] = dict(default_tags or {})
         self.roots: List[Span] = []
         self._stack: List[Span] = []
 
+    def tagged(self, **tags: str) -> "Tracer":
+        """A view of this tracer with extra default tags.
+
+        The view shares the parent's ``roots`` (all spans end up in
+        one exported document) but has its own open-span stack, so
+        concurrent recorders — one per simulated host — do not nest
+        into each other's spans.
+        """
+        view = Tracer(
+            self.env, default_tags={**self.default_tags, **tags}
+        )
+        view.roots = self.roots
+        return view
+
     def start(self, name: str) -> Span:
         """Open a span; it nests under the innermost open span."""
-        span = Span(name=name, start_us=self.env.now)
+        if self.env is None:
+            raise ValueError(
+                "this tracer has no clock; construct it with an "
+                "environment to open live spans"
+            )
+        span = Span(
+            name=name, start_us=self.env.now, tags=dict(self.default_tags)
+        )
         if self._stack:
             self._stack[-1].children.append(span)
         else:
@@ -94,7 +140,12 @@ class Tracer:
     ) -> Span:
         """Attach a completed span post-hoc (e.g. a concurrent loader
         whose timing was captured by its own stats)."""
-        span = Span(name=name, start_us=start_us, end_us=end_us)
+        span = Span(
+            name=name,
+            start_us=start_us,
+            end_us=end_us,
+            tags=dict(self.default_tags),
+        )
         if parent is not None:
             parent.children.append(span)
         elif self._stack:
@@ -122,14 +173,18 @@ class Tracer:
 
         return _SpanContext()
 
+    def to_json(self) -> str:
+        """All recorded root spans as a JSON document."""
+        return json.dumps(
+            [root.to_dict() for root in self.roots],
+            indent=2,
+            sort_keys=True,
+        )
+
 
 def export_json(tracer: Tracer) -> str:
     """All recorded root spans as a JSON document."""
-    import json
-
-    return json.dumps(
-        [root.to_dict() for root in tracer.roots], indent=2, sort_keys=True
-    )
+    return tracer.to_json()
 
 
 def render_trace(span: Span, indent: int = 0) -> str:

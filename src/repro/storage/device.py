@@ -154,6 +154,18 @@ class BlockDevice:
         """Zero the counters (e.g. between record and test phases)."""
         self.stats = DeviceStats()
 
+    def reset_readahead(self) -> None:
+        """Forget the sequential-read detector's window.
+
+        Dropping the page cache between measured runs is meant to make
+        each run independent of history; the detector's remembered
+        tail offset is the one remaining piece of cross-run device
+        state, so the platform clears it alongside the cache. Without
+        this, whether a run's first read counts as sequential would
+        depend on whatever unrelated I/O happened to run before it.
+        """
+        self._next_sequential_offset = None
+
     def estimate_read_time(self, nbytes: int, sequential: bool = False) -> float:
         """Uncontended service-time estimate (used for sanity checks
         and tests; the simulation itself never uses this shortcut)."""

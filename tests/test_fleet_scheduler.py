@@ -6,7 +6,9 @@ from repro.core.policies import Policy
 from repro.fleet.costs import FunctionCosts
 from repro.fleet.scheduler import (
     FleetConfig,
+    FleetReport,
     FleetSimulator,
+    ServedInvocation,
     StartKind,
 )
 from repro.fleet.workload import Arrival, ArrivalTrace, FleetFunction
@@ -121,6 +123,93 @@ def test_report_aggregates():
     assert report.latency_percentile(0) == COSTS.warm_us
     assert report.latency_percentile(99) == COSTS.cold_us
     assert report.mean_memory_mb() > 0
+
+
+def _report_with_latencies(latencies):
+    return FleetReport(
+        served=[
+            ServedInvocation(
+                time_us=float(i),
+                function="f",
+                kind=StartKind.WARM,
+                latency_us=lat,
+            )
+            for i, lat in enumerate(latencies)
+        ]
+    )
+
+
+def test_latency_percentile_nearest_rank():
+    """Nearest-rank pinning on a known list: the old ``int(p/100*n)``
+    indexing over-read by one at exact boundaries (p50 of 4 samples
+    returned the 3rd value instead of the 2nd)."""
+    report = _report_with_latencies([30.0, 10.0, 40.0, 20.0])
+    assert report.latency_percentile(0) == 10.0
+    assert report.latency_percentile(25) == 10.0
+    assert report.latency_percentile(50) == 20.0
+    assert report.latency_percentile(75) == 30.0
+    assert report.latency_percentile(99) == 40.0
+    assert report.latency_percentile(100) == 40.0
+
+
+def test_latency_percentile_single_sample_and_empty():
+    assert _report_with_latencies([5.0]).latency_percentile(50) == 5.0
+    assert FleetReport().latency_percentile(50) == 0.0
+
+
+def test_memory_budget_smaller_than_single_vm():
+    """A budget that cannot fit even one VM must still serve every
+    arrival: the running VM may exceed the budget (there is nothing
+    idle to evict), and reusing an already-resident warm VM never
+    re-checks the fit — so the single VM survives and keeps serving."""
+    sim = make_sim(budget=COSTS.warm_memory_mb / 2)
+    arrivals = [(i * MINUTE, "f") for i in range(4)]
+    report = sim.run(trace(*arrivals))
+    assert report.count() == 4
+    kinds = [s.kind for s in report.served]
+    assert kinds == [StartKind.COLD] + [StartKind.WARM] * 3
+    assert report.evictions == 0
+    # Over-budget by exactly the one irreducible VM, never more.
+    assert max(report.memory_samples_mb) == COSTS.warm_memory_mb
+
+
+def test_zero_ttl_trace_replay_releases_memory():
+    sim = make_sim(ttl=0)
+    arrivals = [(i * 10 * SECOND, "f") for i in range(5)]
+    report = sim.run(trace(*arrivals))
+    assert report.count(StartKind.WARM) == 0
+    assert report.evictions == 0
+    # Memory at each arrival holds only still-running VMs; with 10 s
+    # spacing every prior VM has finished and been released.
+    assert report.memory_samples_mb == [COSTS.warm_memory_mb] * 5
+
+
+def test_snapshots_disabled_trace_replay():
+    sim = make_sim(ttl=5 * MINUTE, snapshots=False)
+    arrivals = [(i * 30 * MINUTE, "f") for i in range(5)]
+    report = sim.run(trace(*arrivals))
+    assert report.count(StartKind.SNAPSHOT) == 0
+    assert report.count(StartKind.COLD) == 5
+    assert report.mean_latency_us() == pytest.approx(COSTS.cold_us)
+
+
+def test_memory_pressure_evicts_least_recently_used_first():
+    sim = make_sim(budget=500.0, names=("a", "b", "c"))
+    report = sim.run(
+        trace(
+            (0, "a"),
+            (5 * SECOND, "b"),
+            (10 * SECOND, "c"),
+            (15 * SECOND, "a"),
+        )
+    )
+    # c's start fits only by evicting the LRU idle VM. That must be a
+    # (idle since ~2.5 s) and not b (idle since ~7.5 s) — so a's
+    # return is a snapshot start, which it could not be had b been
+    # evicted instead. a's own return then evicts the next LRU, b.
+    assert report.evictions == 2
+    assert report.served[3].function == "a"
+    assert report.served[3].kind is StartKind.SNAPSHOT
 
 
 def test_longer_ttl_trades_memory_for_warm_starts():

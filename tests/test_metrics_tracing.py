@@ -102,6 +102,63 @@ def test_export_json_roundtrips():
     assert parsed[0]["children"][0]["name"] == "child"
 
 
+def test_span_tags_serialize():
+    span = Span(name="x", start_us=0.0, end_us=5.0)
+    span.tag("host", "host3")
+    span.tag("policy", "faasnap")
+    payload = span.to_dict()
+    assert payload["tags"] == {"host": "host3", "policy": "faasnap"}
+
+
+def test_default_tags_stamped_on_start_and_record():
+    env = Environment()
+    tracer = Tracer(env, default_tags={"host": "host1"})
+    started = tracer.start("a")
+    tracer.end(started)
+    recorded = tracer.record("b", 0.0, 1.0)
+    assert started.tags == {"host": "host1"}
+    assert recorded.tags == {"host": "host1"}
+
+
+def test_tagged_view_shares_roots_with_merged_tags():
+    env = Environment()
+    tracer = Tracer(env, default_tags={"run": "r1"})
+    view = tracer.tagged(host="host2")
+    span = view.record("restore", 0.0, 10.0)
+    # The view writes into the parent tracer's root list, with the
+    # parent's tags plus its own.
+    assert tracer.roots == [span]
+    assert span.tags == {"run": "r1", "host": "host2"}
+    # ...but keeps its own open-span stack: a span the view opens
+    # does not nest into the parent tracer's open span.
+    outer = tracer.start("outer")
+    inner = view.start("inner")
+    assert inner in tracer.roots
+    assert inner not in outer.children
+    tracer.end(outer)
+    view.end(inner)
+
+
+def test_tracer_without_env_records_but_cannot_start():
+    tracer = Tracer()
+    span = tracer.record("posthoc", 0.0, 2.0)
+    assert tracer.roots == [span]
+    with pytest.raises(ValueError):
+        tracer.start("live")
+
+
+def test_tracer_to_json_parses():
+    import json
+
+    tracer = Tracer()
+    root = tracer.record("root", 0.0, 50.0)
+    tracer.record("child", 5.0, 25.0, parent=root)
+    root.tag("host", "host0")
+    parsed = json.loads(tracer.to_json())
+    assert parsed[0]["tags"] == {"host": "host0"}
+    assert parsed[0]["children"][0]["name"] == "child"
+
+
 def test_invocation_records_span_tree():
     platform = FaaSnapPlatform()
     handle = platform.register_function(TINY)
