@@ -95,8 +95,14 @@ def run_workload(cells) -> dict:
 CLUSTER_HOSTS = 4
 
 
-def run_cluster_workload() -> dict:
-    """Serve a dense fleet trace on the multi-host cluster scheduler."""
+def run_cluster_workload(sampler_interval_us=None) -> dict:
+    """Serve a dense fleet trace on the multi-host cluster scheduler.
+
+    ``sampler_interval_us`` turns on the telemetry gauge sampler; the
+    smoke gate runs the workload with and without it and requires
+    identical invocation counts and latency checksums (the
+    zero-perturbation guard).
+    """
     from repro.cluster import ClusterConfig, ClusterSimulator
     from repro.fleet.workload import generate_arrivals, synthesize_fleet
 
@@ -114,7 +120,9 @@ def run_cluster_workload() -> dict:
         keep_alive_ttl_us=30_000_000.0,
     )
     started = time.perf_counter()
-    report = ClusterSimulator(fleet, config).run(trace)
+    report = ClusterSimulator(fleet, config).run(
+        trace, sampler_interval_us=sampler_interval_us
+    )
     elapsed = time.perf_counter() - started
     return {
         "hosts": CLUSTER_HOSTS,
@@ -254,13 +262,31 @@ def main() -> int:
             )
             status = 1
 
+    # Perturbation guard: the same cluster workload with the telemetry
+    # gauge sampler enabled must produce bit-identical results —
+    # instruments are pull-based, and the sampler's heap events only
+    # flip fault services between the (bit-identical) fast and event
+    # paths.
+    telemetry_metrics = run_cluster_workload(sampler_interval_us=100_000.0)
+    for exact_key in ("invocations", "latency_checksum_us"):
+        if telemetry_metrics[exact_key] != cluster_metrics[exact_key]:
+            print(
+                f"FAIL: telemetry-enabled cluster {exact_key} "
+                f"{telemetry_metrics[exact_key]} != telemetry-disabled "
+                f"{cluster_metrics[exact_key]} — telemetry perturbed the "
+                "simulation",
+                file=sys.stderr,
+            )
+            status = 1
+
     if status == 0:
         print(
             f"OK: events/sec within {args.threshold:.0%} of baseline "
             f"({metrics['events_per_sec']:.0f} vs "
             f"{baseline['events_per_sec']:.0f}), event count exact; "
             f"cluster {cluster_metrics['invocations_per_sec']:.2f} inv/sec "
-            f"({CLUSTER_HOSTS} hosts), checksums exact"
+            f"({CLUSTER_HOSTS} hosts), checksums exact; telemetry "
+            "perturbation guard passed"
         )
     return status
 

@@ -7,19 +7,28 @@ Commands:
 * ``invoke`` — run one function under one (or every) restore policy.
 * ``experiment`` — regenerate a paper table/figure by id
   (``--cluster`` switches a figure to its contention-aware mode).
+* ``validate`` — check the paper's claims C1-C4.
 * ``fleet`` — run a small fleet simulation (paper §7.1) against the
   static cost table.
 * ``cluster`` — the same serving problem on N page-level simulated
   hosts, where restore contention is emergent.
+* ``telemetry`` — run a function under full instrumentation and
+  render the telemetry report (profiler phases, hot components, hit
+  rates, sampled gauges).
 
-``invoke`` and ``cluster`` accept ``--trace-out FILE`` to export the
-recorded spans as Zipkin-flavoured JSON, each span tagged with the id
-of the host that produced it.
+``invoke``, ``cluster`` and ``telemetry`` accept ``--trace-out FILE``
+to export the recorded spans as Zipkin-flavoured JSON (tagged per
+host), ``--metrics-out FILE`` to export the run's telemetry registry
+as structured JSON, and ``--chrome-trace FILE`` to export the spans
+as a Chrome ``trace_event`` document for ``chrome://tracing`` /
+Perfetto.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import List, Optional
 
@@ -52,11 +61,70 @@ def _cmd_functions(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _write_trace(tracer, path: str) -> None:
+def _write_output(path: str, text: str, what: str) -> int:
+    """Shared output-path validation and writer for ``--trace-out``,
+    ``--metrics-out``, ``--chrome-trace`` and friends. Returns 0, or
+    2 when the target directory does not exist."""
+    directory = os.path.dirname(path)
+    if directory and not os.path.isdir(directory):
+        print(
+            f"cannot write {what}: directory {directory!r} does not exist",
+            file=sys.stderr,
+        )
+        return 2
     with open(path, "w", encoding="utf-8") as fh:
-        fh.write(tracer.to_json())
-        fh.write("\n")
-    print(f"wrote {len(tracer.roots)} trace(s) to {path}", file=sys.stderr)
+        fh.write(text)
+        if not text.endswith("\n"):
+            fh.write("\n")
+    print(f"wrote {what} to {path}", file=sys.stderr)
+    return 0
+
+
+def _write_trace(tracer, path: str) -> int:
+    return _write_output(
+        path, tracer.to_json(), f"{len(tracer.roots)} trace(s)"
+    )
+
+
+def _write_chrome_trace(tracer, path: str) -> int:
+    from repro.metrics.exporters import to_chrome_trace
+
+    doc = to_chrome_trace(tracer)
+    return _write_output(
+        path,
+        json.dumps(doc, indent=2, sort_keys=True),
+        f"chrome trace ({len(doc['traceEvents'])} events)",
+    )
+
+
+def _write_metrics(registry, path: str, sampler=None, total_us=None) -> int:
+    from repro.metrics.exporters import to_json_doc
+
+    doc = to_json_doc(registry, sampler=sampler, total_us=total_us)
+    return _write_output(
+        path,
+        json.dumps(doc, indent=2, sort_keys=True),
+        f"metrics ({len(doc['counters']) + len(doc['gauges']) + len(doc['histograms'])} instruments)",
+    )
+
+
+def _emit_run_outputs(
+    args: argparse.Namespace, registry, tracer, sampler=None, total_us=None
+) -> int:
+    """Write whichever of the shared output flags were given."""
+    status = 0
+    if getattr(args, "trace_out", None) and tracer is not None:
+        status = _write_trace(tracer, args.trace_out) or status
+    if getattr(args, "chrome_trace", None) and tracer is not None:
+        status = _write_chrome_trace(tracer, args.chrome_trace) or status
+    if getattr(args, "metrics_out", None) and registry is not None:
+        status = (
+            _write_metrics(
+                registry, args.metrics_out, sampler=sampler, total_us=total_us
+            )
+            or status
+        )
+    return status
 
 
 def _cmd_invoke(args: argparse.Namespace) -> int:
@@ -66,7 +134,7 @@ def _cmd_invoke(args: argparse.Namespace) -> int:
     handle = platform.register_function(get_profile(args.function))
     tracer = (
         Tracer(platform.env, default_tags={"host": platform.host.host_id})
-        if args.trace_out
+        if args.trace_out or args.chrome_trace
         else None
     )
     if args.input == "A":
@@ -110,13 +178,16 @@ def _cmd_invoke(args: argparse.Namespace) -> int:
             f"({'EBS' if args.remote else 'NVMe'})",
         )
     )
-    if tracer is not None:
-        _write_trace(tracer, args.trace_out)
-    return 0
+    return _emit_run_outputs(
+        args,
+        platform.metrics,
+        tracer,
+        total_us=platform.env.now,
+    )
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    from repro.experiments import ALL_EXPERIMENTS
+    from repro.experiments import ALL_EXPERIMENTS, runner
 
     module = ALL_EXPERIMENTS.get(args.id)
     if module is None:
@@ -126,17 +197,38 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    if args.cluster:
-        if not hasattr(module, "run_cluster"):
+    sink: Optional[list] = [] if args.metrics_out else None
+    runner.TELEMETRY_SINK = sink
+    try:
+        if args.cluster:
+            if not hasattr(module, "run_cluster"):
+                print(
+                    f"experiment {args.id!r} has no contention-aware "
+                    "cluster mode",
+                    file=sys.stderr,
+                )
+                return 2
             print(
-                f"experiment {args.id!r} has no contention-aware "
-                "cluster mode",
-                file=sys.stderr,
+                module.format_cluster_table(module.run_cluster(jobs=args.jobs))
             )
-            return 2
-        print(module.format_cluster_table(module.run_cluster(jobs=args.jobs)))
-        return 0
-    print(module.format_table(module.run(jobs=args.jobs)))
+        else:
+            print(module.format_table(module.run(jobs=args.jobs)))
+    finally:
+        runner.TELEMETRY_SINK = None
+    if sink:
+        from repro.metrics.exporters import merge_shard_snapshots
+
+        merged = merge_shard_snapshots(sink)
+        return _write_output(
+            args.metrics_out,
+            json.dumps(merged, indent=2, sort_keys=True),
+            f"merged metrics from {merged['shards']} shard(s)",
+        )
+    if args.metrics_out:
+        print(
+            "no telemetry snapshots were produced by this experiment",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -216,8 +308,15 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         max_concurrent_per_host=args.max_concurrent,
     )
     simulator = ClusterSimulator(fleet, config)
-    tracer = Tracer() if args.trace_out else None
-    report = simulator.run(trace, tracer=tracer)
+    tracer = Tracer() if args.trace_out or args.chrome_trace else None
+    sampler_interval_us = (
+        args.sample_interval_ms * 1000.0
+        if args.sample_interval_ms is not None
+        else (100_000.0 if args.metrics_out else None)
+    )
+    report = simulator.run(
+        trace, tracer=tracer, sampler_interval_us=sampler_interval_us
+    )
     rows = [
         ["invocations", report.count()],
         ["prep (s)", report.prep_us / 1e6],
@@ -266,9 +365,79 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             title="Per-host breakdown",
         )
     )
-    if tracer is not None:
-        _write_trace(tracer, args.trace_out)
-    return 0
+    return _emit_run_outputs(
+        args,
+        simulator.registry,
+        tracer,
+        sampler=simulator.sampler,
+        total_us=simulator.env.now,
+    )
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    from repro.metrics.exporters import to_prometheus
+    from repro.metrics.telemetry import Sampler, render_run_report
+    from repro.metrics.tracing import Tracer
+
+    platform = FaaSnapPlatform(remote_storage=args.remote)
+    handle = platform.register_function(get_profile(args.function))
+    tracer = Tracer(
+        platform.env, default_tags={"host": platform.host.host_id}
+    )
+    registry = platform.metrics
+    sampler = Sampler(
+        registry, platform.env, args.sample_interval_ms * 1000.0
+    )
+
+    if args.input == "A":
+        test_input = INPUT_A
+    elif args.input == "B":
+        test_input = handle.profile.input_b()
+    else:
+        test_input = InputSpec(content_id=9, size_ratio=float(args.input))
+
+    policies = (
+        [Policy(args.policy)]
+        if args.policy != "all"
+        else [
+            Policy.WARM,
+            Policy.FIRECRACKER,
+            Policy.CACHED,
+            Policy.REAP,
+            Policy.FAASNAP,
+        ]
+    )
+    # The sampler's pending timeout would hang the bare
+    # ``env.run()`` the record phase uses; ``invoke`` drives the
+    # loop with ``run(until=...)`` throughout, so starting the
+    # sampler once up front is safe.
+    sampler.start()
+    try:
+        for policy in policies:
+            platform.invoke(
+                handle, test_input, policy, record_input=INPUT_A, tracer=tracer
+            )
+    finally:
+        sampler.stop()
+
+    print(
+        render_run_report(
+            registry, platform.env.now, sampler=sampler, top=args.top
+        )
+    )
+    status = _emit_run_outputs(
+        args, registry, tracer, sampler=sampler, total_us=platform.env.now
+    )
+    if args.prometheus_out:
+        status = (
+            _write_output(
+                args.prometheus_out,
+                to_prometheus(registry),
+                "prometheus exposition",
+            )
+            or status
+        )
+    return status
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -300,6 +469,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write Zipkin-flavoured JSON spans of each invocation",
     )
+    _add_telemetry_outputs(invoke)
     invoke.set_defaults(handler=_cmd_invoke)
 
     experiment = sub.add_parser(
@@ -318,6 +488,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--cluster",
         action="store_true",
         help="contention-aware multi-host mode (fig10/fig11 only)",
+    )
+    experiment.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write telemetry merged across experiment shards as JSON",
     )
     experiment.set_defaults(handler=_cmd_experiment)
 
@@ -386,9 +562,83 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write Zipkin-flavoured JSON spans (tagged per host)",
     )
+    _add_telemetry_outputs(cluster)
+    cluster.add_argument(
+        "--sample-interval-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="virtual-time gauge sampling cadence (default: 100 ms "
+        "when --metrics-out is given, otherwise off)",
+    )
     cluster.set_defaults(handler=_cmd_cluster)
 
+    telemetry = sub.add_parser(
+        "telemetry",
+        help="run one function fully instrumented and print the "
+        "telemetry report",
+    )
+    telemetry.add_argument("function", choices=profile_names())
+    telemetry.add_argument(
+        "--policy",
+        default=Policy.FAASNAP.value,
+        choices=["all"] + [p.value for p in Policy],
+    )
+    telemetry.add_argument(
+        "--input",
+        default="B",
+        help="'A', 'B', or a numeric size ratio (record phase uses A)",
+    )
+    telemetry.add_argument(
+        "--remote", action="store_true", help="EBS storage"
+    )
+    telemetry.add_argument(
+        "--sample-interval-ms",
+        type=float,
+        default=10.0,
+        metavar="MS",
+        help="virtual-time gauge sampling cadence (default 10 ms)",
+    )
+    telemetry.add_argument(
+        "--top",
+        type=int,
+        default=12,
+        metavar="N",
+        help="hot components shown in the report (default 12)",
+    )
+    telemetry.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write Zipkin-flavoured JSON spans of each invocation",
+    )
+    _add_telemetry_outputs(telemetry)
+    telemetry.add_argument(
+        "--prometheus-out",
+        default=None,
+        metavar="FILE",
+        help="write the registry in Prometheus text exposition format",
+    )
+    telemetry.set_defaults(handler=_cmd_telemetry)
+
     return parser
+
+
+def _add_telemetry_outputs(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--metrics-out`` / ``--chrome-trace`` flags."""
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the run's telemetry registry as structured JSON",
+    )
+    parser.add_argument(
+        "--chrome-trace",
+        default=None,
+        metavar="FILE",
+        help="write spans as a Chrome trace_event JSON document "
+        "(open in chrome://tracing or Perfetto)",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:

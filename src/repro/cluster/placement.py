@@ -95,6 +95,29 @@ class SnapshotLocality(PlacementPolicy):
         return min(hosts, key=lambda h: (h.load, h.index)).index
 
 
+class CountingPlacement(PlacementPolicy):
+    """Decorator that mirrors an inner policy's decisions into a
+    telemetry registry: a total ``cluster.placement.decisions``
+    counter plus one ``cluster.placement.to.<host_id>`` counter per
+    destination. Delegates ``choose`` verbatim, so placements are
+    unchanged."""
+
+    def __init__(self, inner: PlacementPolicy, registry, host_ids):
+        self.inner = inner
+        self.name = inner.name
+        self._decisions = registry.counter("cluster.placement.decisions")
+        self._per_host = [
+            registry.counter(f"cluster.placement.to.{host_id}")
+            for host_id in host_ids
+        ]
+
+    def choose(self, hosts: Sequence[HostView], function: str) -> int:
+        index = self.inner.choose(hosts, function)
+        self._decisions.value += 1
+        self._per_host[index].value += 1
+        return index
+
+
 _POLICIES: Dict[str, Callable[[], PlacementPolicy]] = {
     RoundRobin.name: RoundRobin,
     LeastLoaded.name: LeastLoaded,

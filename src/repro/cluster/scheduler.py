@@ -40,10 +40,12 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional, Sequence, Set
 
 from repro.cluster.placement import (
+    CountingPlacement,
     HostView,
     PlacementPolicy,
     make_placement,
 )
+from repro.metrics.telemetry import Sampler
 from repro.core.host import Host
 from repro.core.policies import Policy
 from repro.core.restore import PlatformConfig, RecordArtifacts
@@ -246,26 +248,50 @@ class ClusterSimulator(ClusterScheduler):
 
     # -- public entry points -------------------------------------------
 
-    def run(self, trace: ArrivalTrace, tracer=None) -> ClusterReport:
+    def run(
+        self,
+        trace: ArrivalTrace,
+        tracer=None,
+        sampler_interval_us: Optional[float] = None,
+    ) -> ClusterReport:
         """Serve every arrival; fresh hosts and a fresh clock per
         call, so repeated runs are bit-identical.
 
         ``tracer`` (a :class:`repro.metrics.tracing.Tracer`) collects
         a span tree per served invocation, each span tagged with the
-        id of the host that ran it.
+        id of the host that ran it. ``sampler_interval_us`` turns on a
+        virtual-time gauge sampler at that cadence; its time series is
+        available as ``self.sampler`` after the run, and sampling does
+        not change any simulated result (the perf harness's
+        perturbation guard pins this).
         """
         env = Environment()
         self.env = env
+        self.registry = env.metrics
         self._report = ClusterReport(
             placement=self.config.placement,
             snapshot_tier=self.config.snapshot_tier,
         )
-        self._placement: PlacementPolicy = make_placement(
-            self.config.placement
+        self._placement: PlacementPolicy = CountingPlacement(
+            make_placement(self.config.placement),
+            self.registry,
+            [f"host{i}" for i in range(self.config.num_hosts)],
         )
+        counter = self.registry.counter
+        self._ctr_invocations = counter("cluster.scheduler.invocations")
+        self._ctr_warm = counter("cluster.scheduler.warm_starts")
+        self._ctr_snapshot = counter("cluster.scheduler.snapshot_starts")
+        self._ctr_cold = counter("cluster.scheduler.cold_starts")
+        self._ctr_evictions = counter("cluster.scheduler.evictions")
         self._build_hosts(env, tracer)
+        self.sampler: Optional[Sampler] = None
+        if sampler_interval_us is not None:
+            self.sampler = Sampler(self.registry, env, sampler_interval_us)
+            self.sampler.start()
         driver = env.process(self._driver(trace), name="cluster-driver")
         env.run(until=driver)
+        if self.sampler is not None:
+            self.sampler.stop()
         report = self._report
         for hs in self._hosts:
             stats = hs.stats
@@ -285,7 +311,9 @@ class ClusterSimulator(ClusterScheduler):
         config = self.config
         shared_store: Optional[FileStore] = None
         if config.snapshot_tier == TIER_SHARED_EBS:
-            shared_device = BlockDevice(env, EBS_IO2)
+            shared_device = BlockDevice(
+                env, EBS_IO2, metrics_prefix="cluster.shared_device"
+            )
             shared_store = FileStore(env, shared_device)
         self._hosts: List[_HostState] = []
         shared_snapshots: Set[str] = set()
@@ -303,6 +331,22 @@ class ClusterSimulator(ClusterScheduler):
                 hs.snapshots = shared_snapshots
             if tracer is not None:
                 hs.tracer = tracer.tagged(host=host.host_id)
+            gauge = self.registry.gauge
+            host_id = host.host_id
+            gauge(
+                f"{host_id}.scheduler.active", lambda hs=hs: hs.active
+            )
+            gauge(
+                f"{host_id}.scheduler.queued", lambda hs=hs: hs.queued
+            )
+            gauge(
+                f"{host_id}.scheduler.idle_vms",
+                lambda hs=hs: len(hs.idle),
+            )
+            gauge(
+                f"{host_id}.scheduler.memory_mb",
+                lambda hs=hs: hs.memory_mb,
+            )
             self._hosts.append(hs)
 
     def _record_plan(self) -> List[Policy]:
@@ -379,6 +423,7 @@ class ClusterSimulator(ClusterScheduler):
             hs.memory_mb -= vm.memory_mb
             hs.stats.evictions += 1
             self._report.evictions += 1
+            self._ctr_evictions.value += 1
 
     def _evict_until_fits(self, hs: _HostState, extra_mb: float) -> None:
         while hs.memory_mb + extra_mb > self.config.memory_budget_mb:
@@ -388,6 +433,7 @@ class ClusterSimulator(ClusterScheduler):
             hs.memory_mb -= vm.memory_mb
             hs.stats.evictions += 1
             self._report.evictions += 1
+            self._ctr_evictions.value += 1
 
     def _artifacts_for(
         self, hs: _HostState, function: str, policy: Policy
@@ -467,12 +513,16 @@ class ClusterSimulator(ClusterScheduler):
                 hs.memory_mb -= vm.memory_mb
 
             hs.stats.invocations += 1
+            self._ctr_invocations.value += 1
             if kind is StartKind.WARM:
                 hs.stats.warm_starts += 1
+                self._ctr_warm.value += 1
             elif kind is StartKind.SNAPSHOT:
                 hs.stats.snapshot_starts += 1
+                self._ctr_snapshot.value += 1
             else:
                 hs.stats.cold_starts += 1
+                self._ctr_cold.value += 1
             self._report.served.append(
                 ServedInvocation(
                     time_us=arrival.time_us,

@@ -85,6 +85,12 @@ class FaaSnapPlatform:
         return self.host.env
 
     @property
+    def metrics(self):
+        """The run's :class:`~repro.metrics.telemetry.MetricsRegistry`
+        (owned by the host's environment)."""
+        return self.host.env.metrics
+
+    @property
     def device(self):
         return self.host.device
 

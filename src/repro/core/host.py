@@ -80,20 +80,22 @@ class Host:
             self.store = store
             self.device = store.device
         else:
-            self.device = BlockDevice(env, config.device)
+            self.device = BlockDevice(
+                env, config.device, metrics_prefix=f"{host_id}.device"
+            )
             self.store = FileStore(env, self.device)
         if config.tiered_storage:
             # Small derived files (loading sets, working sets) stay on
             # a local NVMe SSD while the big memory files live on the
             # primary (usually remote) device (§7.2).
             self.local_device: Optional[BlockDevice] = BlockDevice(
-                env, NVME_LOCAL
+                env, NVME_LOCAL, metrics_prefix=f"{host_id}.local_device"
             )
             self.artifact_store: FileStore = FileStore(env, self.local_device)
         else:
             self.local_device = None
             self.artifact_store = self.store
-        self.cache = PageCache(env)
+        self.cache = PageCache(env, metrics_root=host_id)
         self.cpu = (
             Resource(env, config.cpu_slots)
             if config.cpu_slots is not None
@@ -101,6 +103,12 @@ class Host:
         )
         self._artifacts: Dict[ArtifactKey, RecordArtifacts] = {}
         self._tags = itertools.count()
+        registry = getattr(env, "metrics", None)
+        if registry is not None and self.cache.metrics_root is not None:
+            registry.gauge(
+                f"{self.cache.metrics_root}.artifact_cache.entries",
+                lambda: len(self._artifacts),
+            )
 
     # -- tags and artifact cache ---------------------------------------
 

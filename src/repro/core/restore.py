@@ -223,6 +223,7 @@ def run_record_phase(
     working-set files on a different (e.g. faster, local) device than
     the snapshot itself — the tiered-storage layout of §7.2.
     """
+    phase_start = env.now
     clean = create_snapshot(
         store,
         f"{tag}.clean",
@@ -317,6 +318,12 @@ def run_record_phase(
         artifacts.reap_ws_file = write_working_set_file(
             derived_store, f"{tag}.reapws", artifacts.reap_ws, warm
         )
+
+    telemetry = getattr(cache, "telemetry", None)
+    if telemetry is not None:
+        telemetry.profiler.phase("record", phase_start, env.now)
+        telemetry.record_phases.value += 1
+        telemetry.absorb_fault_records(vm.handler.stats.records)
 
     cache.drop_all()
     store.device.reset_stats()
@@ -515,6 +522,24 @@ def invocation_process(
                 f"fetched {loader_stats.bytes_read / 1e6:.1f} MB in "
                 f"{loader_stats.requests} requests"
             )
+
+    telemetry = getattr(cache, "telemetry", None)
+    if telemetry is not None:
+        profiler = telemetry.profiler
+        invoke_end = invoke_started + invoke_us
+        profiler.phase(
+            f"setup.{policy.value}", request_time, request_time + setup_us
+        )
+        profiler.phase("invoke", invoke_started, invoke_end)
+        if env.now > invoke_end:
+            # The loader join drained past the guest's finish.
+            profiler.phase("loader.drain", invoke_end, env.now)
+        if loader_proc is not None and loader_stats.finished_us > 0:
+            profiler.add("loader.fetch", loader_stats.fetch_time_us)
+        telemetry.invocations.value += 1
+        telemetry.absorb_fault_records(vm.handler.stats.records)
+        if vm.uffd is not None:
+            telemetry.uffd_delegated.value += vm.uffd.delegated_faults
 
     function_files = artifact_file_names(artifacts)
     cache_pages = sum(cache.count_for_file(name) for name in function_files)

@@ -27,6 +27,14 @@ from repro.core.restore import PlatformConfig
 from repro.experiments.common import Cell, fresh_platform, measure
 from repro.workloads.base import INPUT_A, InputSpec
 
+#: When set (to a list) by the caller — the CLI's
+#: ``experiment --metrics-out`` — every shard returns a plain-dict
+#: snapshot of its platform's telemetry registry and
+#: :func:`measure_cells` appends them here. Snapshots are plain dicts
+#: because shards run in forked workers: registries hold closures over
+#: live simulation state and never cross the process boundary.
+TELEMETRY_SINK: Optional[List[dict]] = None
+
 
 @dataclass(frozen=True)
 class CellSpec:
@@ -90,10 +98,12 @@ def parallel_map(
 
 
 def _run_shard(
-    payload: Tuple[Optional[PlatformConfig], bool, List[Tuple[int, CellSpec]]],
-) -> List[Tuple[int, Cell]]:
+    payload: Tuple[
+        Optional[PlatformConfig], bool, List[Tuple[int, CellSpec]], bool
+    ],
+) -> Tuple[List[Tuple[int, Cell]], Optional[dict]]:
     """Evaluate one shard on a fresh platform (pool worker)."""
-    config, remote_storage, indexed_specs = payload
+    config, remote_storage, indexed_specs, collect_telemetry = payload
     functions = []
     for _, spec in indexed_specs:
         if spec.function not in functions:
@@ -111,7 +121,13 @@ def _run_shard(
             record_input=spec.record_input,
         )
         out.append((index, cell))
-    return out
+    snapshot: Optional[dict] = None
+    if collect_telemetry:
+        from repro.metrics.exporters import registry_snapshot
+
+        snapshot = registry_snapshot(platform.metrics)
+        snapshot["virtual_time_us"] = platform.env.now
+    return out, snapshot
 
 
 def measure_cells(
@@ -122,14 +138,20 @@ def measure_cells(
 ) -> List[Cell]:
     """Measure every spec, sharded by record artifact, optionally in
     parallel. Returns cells in the order of ``specs``."""
+    # Decide collection in the parent so forked workers need no access
+    # to the parent's module state.
+    sink = TELEMETRY_SINK
     shards: Dict[ShardKey, List[Tuple[int, CellSpec]]] = {}
     for index, spec in enumerate(specs):
         shards.setdefault(shard_key(spec), []).append((index, spec))
     payloads = [
-        (config, remote_storage, indexed) for indexed in shards.values()
+        (config, remote_storage, indexed, sink is not None)
+        for indexed in shards.values()
     ]
     results: List[Optional[Cell]] = [None] * len(specs)
-    for shard_result in parallel_map(_run_shard, payloads, jobs):
+    for shard_result, snapshot in parallel_map(_run_shard, payloads, jobs):
         for index, cell in shard_result:
             results[index] = cell
+        if sink is not None and snapshot is not None:
+            sink.append(snapshot)
     return results  # type: ignore[return-value]

@@ -30,6 +30,7 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 from repro.core.policies import Policy
 from repro.fleet.costs import CostModel, FunctionCosts
 from repro.fleet.workload import ArrivalTrace, FleetFunction
+from repro.metrics.telemetry import MetricsRegistry
 
 US_PER_MINUTE = 60_000_000.0
 
@@ -106,6 +107,10 @@ class IdlePool:
 
     def has_idle(self, function: str) -> bool:
         return bool(self._pools.get(function))
+
+    def __len__(self) -> int:
+        """Idle VMs across all functions (the idle-pool-size gauge)."""
+        return sum(len(pool) for pool in self._pools.values())
 
     def reuse_mru(self, function: str) -> Optional[PooledVm]:
         """Claim the most recently used idle VM of ``function``."""
@@ -241,6 +246,21 @@ class FleetSimulator(ClusterScheduler):
         has_snapshot: Dict[str, bool] = {name: False for name in self.fleet}
         memory_mb = 0.0
 
+        # The fast path has no Environment, so the run owns a
+        # standalone registry. The gauges close over this frame's
+        # cells (``memory_mb`` is a nonlocal of the helpers below, so
+        # the lambda reads the same cell they update).
+        registry = self.registry = MetricsRegistry()
+        ctr_invocations = registry.counter("fleet.scheduler.invocations")
+        ctr_warm = registry.counter("fleet.scheduler.warm_starts")
+        ctr_snapshot = registry.counter("fleet.scheduler.snapshot_starts")
+        ctr_cold = registry.counter("fleet.scheduler.cold_starts")
+        ctr_evictions = registry.counter("fleet.scheduler.evictions")
+        registry.gauge(
+            "fleet.scheduler.memory_in_use_mb", lambda: memory_mb
+        )
+        registry.gauge("fleet.scheduler.idle_vms", lambda: len(idle))
+
         def complete_up_to(now: float) -> None:
             nonlocal memory_mb
             while running and running[0][0] <= now:
@@ -259,6 +279,7 @@ class FleetSimulator(ClusterScheduler):
             for vm in idle.pop_expired(now, self.config.keep_alive_ttl_us):
                 memory_mb -= vm.memory_mb
                 report.evictions += 1
+                ctr_evictions.value += 1
 
         def evict_lru_until_fits(extra_mb: float) -> None:
             nonlocal memory_mb
@@ -268,6 +289,7 @@ class FleetSimulator(ClusterScheduler):
                     break
                 memory_mb -= vm.memory_mb
                 report.evictions += 1
+                ctr_evictions.value += 1
 
         for arrival in trace.arrivals:
             now = arrival.time_us
@@ -278,17 +300,21 @@ class FleetSimulator(ClusterScheduler):
             costs = self._costs[name]
             # Reuse the most recently used warm VM, if any.
             reused = idle.reuse_mru(name)
+            ctr_invocations.value += 1
             if reused is not None:
                 vm = reused
                 kind = StartKind.WARM
                 latency = costs.warm_us
+                ctr_warm.value += 1
             else:
                 if self.config.snapshots_enabled and has_snapshot[name]:
                     kind = StartKind.SNAPSHOT
                     latency = costs.snapshot_us
+                    ctr_snapshot.value += 1
                 else:
                     kind = StartKind.COLD
                     latency = costs.cold_us
+                    ctr_cold.value += 1
                 evict_lru_until_fits(costs.warm_memory_mb)
                 memory_mb += costs.warm_memory_mb
                 vm = PooledVm(

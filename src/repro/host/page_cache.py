@@ -112,7 +112,12 @@ class _IntervalRuns:
 class PageCache:
     """Host page cache with pending-read tracking and optional LRU."""
 
-    def __init__(self, env: Environment, capacity_pages: Optional[int] = None):
+    def __init__(
+        self,
+        env: Environment,
+        capacity_pages: Optional[int] = None,
+        metrics_root: Optional[str] = None,
+    ):
         if capacity_pages is not None and capacity_pages < 1:
             raise SimulationError("page cache capacity must be >= 1 or None")
         self.env = env
@@ -130,6 +135,33 @@ class PageCache:
         #: the recorder still charges the full mincore scan *cost* on
         #: the simulated clock.
         self._insertion_log: Dict[str, List[int]] = {}
+        # The cache is the one per-host object every invocation's
+        # fault handler reaches (``handler.cache``), so it hosts the
+        # per-host instrument bundle that invocation teardown absorbs
+        # fault records into.
+        registry = getattr(env, "metrics", None)
+        if registry is None:
+            self.metrics_root = None
+            self.telemetry = None
+        else:
+            root = registry.unique_prefix(metrics_root or "host")
+            self.metrics_root = root
+            registry.gauge(
+                f"{root}.page_cache.resident_pages", lambda: len(self)
+            )
+            registry.gauge(
+                f"{root}.page_cache.pending_reads",
+                lambda: len(self._pending),
+            )
+            registry.pull_counter(
+                f"{root}.page_cache.insertions", lambda: self.insertions
+            )
+            registry.pull_counter(
+                f"{root}.page_cache.evictions", lambda: self.evictions
+            )
+            from repro.metrics.telemetry import HostTelemetry
+
+            self.telemetry = HostTelemetry(registry, root)
 
     @property
     def _unbounded(self) -> bool:

@@ -1,10 +1,13 @@
-"""Measurement helpers: statistics, histograms, and table rendering.
+"""Measurement helpers: statistics, telemetry, tracing, exporters.
 
 Stands in for the paper's bpftrace/perf tooling (§3.1, §6.4): the
 simulation already records every fault, so this package only
 aggregates — log-scale histograms for Figure 2, mean/std summaries
-for the execution-time figures, and fixed-width text tables the
-benchmark harness prints.
+for the execution-time figures, fixed-width text tables the benchmark
+harness prints, plus the unified telemetry layer (typed instruments
+in a :class:`MetricsRegistry`, a virtual-time :class:`Sampler`, a
+sim-kernel :class:`Profiler`) and its Prometheus/JSON/Chrome-trace
+exporters.
 """
 
 from repro.metrics.stats import (
@@ -15,13 +18,47 @@ from repro.metrics.stats import (
     stddev,
 )
 from repro.metrics.report import render_bars, render_table
+from repro.metrics.telemetry import (
+    Counter,
+    Gauge,
+    HistogramInstrument,
+    HostTelemetry,
+    MetricsRegistry,
+    Profiler,
+    PullCounter,
+    Sampler,
+    render_run_report,
+)
+from repro.metrics.exporters import (
+    merge_shard_snapshots,
+    parse_prometheus,
+    registry_snapshot,
+    to_chrome_trace,
+    to_json_doc,
+    to_prometheus,
+)
 
 __all__ = [
+    "Counter",
+    "Gauge",
     "Histogram",
+    "HistogramInstrument",
+    "HostTelemetry",
+    "MetricsRegistry",
+    "Profiler",
+    "PullCounter",
+    "Sampler",
     "fault_time_histogram",
     "geometric_mean",
     "mean",
+    "merge_shard_snapshots",
+    "parse_prometheus",
+    "registry_snapshot",
     "render_bars",
+    "render_run_report",
     "render_table",
     "stddev",
+    "to_chrome_trace",
+    "to_json_doc",
+    "to_prometheus",
 ]

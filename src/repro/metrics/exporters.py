@@ -1,0 +1,223 @@
+"""Exporters for the telemetry registry and span traces.
+
+Three output formats, all derived from live objects without mutating
+them:
+
+* :func:`to_prometheus` — Prometheus text exposition (counters,
+  gauges, and histograms with cumulative ``le`` buckets);
+* :func:`registry_snapshot` / :func:`to_json_doc` — structured JSON
+  for machine consumption (the ``--metrics-out`` document);
+* :func:`to_chrome_trace` — Chrome ``trace_event`` JSON derived from
+  the existing :class:`~repro.metrics.tracing.Tracer` span trees,
+  loadable in ``chrome://tracing`` / Perfetto (the ``--chrome-trace``
+  document).
+
+:func:`parse_prometheus` exists for round-trip testing, and
+:func:`merge_shard_snapshots` folds the per-shard snapshots a forked
+experiment run returns into one cumulative view.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional
+
+from repro.metrics.telemetry import MetricsRegistry, Sampler
+from repro.metrics.tracing import Span, Tracer
+
+_PROM_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Version tag stamped into the JSON document.
+JSON_SCHEMA = "repro.telemetry/1"
+
+
+def _prom_name(name: str) -> str:
+    """Sanitize a dotted instrument name for Prometheus exposition."""
+    sanitized = _PROM_NAME_RE.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _prom_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Prometheus text exposition of every instrument."""
+    lines: List[str] = []
+    for name, inst in registry.counters():
+        pname = _prom_name(name)
+        lines.append(f"# TYPE {pname} counter")
+        lines.append(f"{pname} {_prom_value(inst.read())}")
+    for name, inst in registry.gauges():
+        pname = _prom_name(name)
+        lines.append(f"# TYPE {pname} gauge")
+        lines.append(f"{pname} {_prom_value(inst.read())}")
+    for name, inst in registry.histograms():
+        pname = _prom_name(name)
+        lines.append(f"# TYPE {pname} histogram")
+        histogram = inst.histogram
+        cumulative = 0
+        # Bucket i covers [edges[i], edges[i+1]), so the cumulative
+        # "observations <= bound" sample for bound edges[i+1] includes
+        # buckets 0..i; the open-ended last bucket only joins +Inf.
+        for i, upper in enumerate(histogram.edges[1:]):
+            cumulative += histogram.counts[i]
+            lines.append(
+                f'{pname}_bucket{{le="{_prom_value(float(upper))}"}} '
+                f"{cumulative}"
+            )
+        lines.append(f'{pname}_bucket{{le="+Inf"}} {histogram.total}')
+        lines.append(f"{pname}_sum {_prom_value(inst.sum)}")
+        lines.append(f"{pname}_count {histogram.total}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> Dict[str, float]:
+    """Parse exposition text back to ``{sample name: value}`` (labels
+    kept inline in the name). For round-trip tests, not a full
+    parser."""
+    samples: Dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, value = line.rsplit(" ", 1)
+        samples[name] = float(value)
+    return samples
+
+
+def registry_snapshot(registry: MetricsRegistry) -> Dict[str, Any]:
+    """The registry plus its profiler as one plain dict — picklable,
+    so experiment shards can send it across the fork boundary."""
+    snapshot = registry.collect()
+    snapshot["profile"] = registry.profiler.as_dict()
+    return snapshot
+
+
+def to_json_doc(
+    registry: MetricsRegistry,
+    sampler: Optional[Sampler] = None,
+    total_us: Optional[float] = None,
+) -> Dict[str, Any]:
+    """The full ``--metrics-out`` JSON document."""
+    doc: Dict[str, Any] = {"schema": JSON_SCHEMA}
+    if total_us is not None:
+        doc["virtual_time_us"] = total_us
+        doc["profile_attributed_us"] = registry.profiler.attributed_us()
+    doc.update(registry_snapshot(registry))
+    if sampler is not None:
+        doc["samples"] = sampler.as_dict()
+    return doc
+
+
+def merge_shard_snapshots(
+    snapshots: List[Dict[str, Any]]
+) -> Dict[str, Any]:
+    """Fold per-shard :func:`registry_snapshot` dicts (each tagged
+    with its shard's ``virtual_time_us``) into one cumulative view.
+
+    Counters, histogram counts (matching edges required), profile
+    time/events, and virtual time sum; gauges are instantaneous
+    per-shard state with no meaningful cross-shard aggregate, so they
+    are dropped.
+    """
+    merged: Dict[str, Any] = {
+        "schema": JSON_SCHEMA,
+        "shards": len(snapshots),
+        "virtual_time_us": 0.0,
+        "counters": {},
+        "histograms": {},
+        "profile": {},
+    }
+    for snapshot in snapshots:
+        merged["virtual_time_us"] += snapshot.get("virtual_time_us", 0.0)
+        for name, value in snapshot.get("counters", {}).items():
+            merged["counters"][name] = merged["counters"].get(name, 0) + value
+        for name, hist in snapshot.get("histograms", {}).items():
+            existing = merged["histograms"].get(name)
+            if existing is None:
+                merged["histograms"][name] = {
+                    "edges": list(hist["edges"]),
+                    "counts": list(hist["counts"]),
+                    "count": hist["count"],
+                    "sum": hist["sum"],
+                }
+            else:
+                if existing["edges"] != list(hist["edges"]):
+                    raise ValueError(
+                        f"histogram {name!r} has mismatched edges across shards"
+                    )
+                existing["counts"] = [
+                    a + b for a, b in zip(existing["counts"], hist["counts"])
+                ]
+                existing["count"] += hist["count"]
+                existing["sum"] += hist["sum"]
+        for name, stat in snapshot.get("profile", {}).items():
+            existing = merged["profile"].setdefault(
+                name, {"time_us": 0.0, "events": 0}
+            )
+            existing["time_us"] += stat["time_us"]
+            existing["events"] += stat["events"]
+    return merged
+
+
+# -- Chrome trace_event ------------------------------------------------
+
+
+def _span_events(
+    span: Span,
+    pid: Any,
+    tid: int,
+    pids: Dict[str, int],
+    events: List[Dict[str, Any]],
+) -> None:
+    host = span.tags.get("host")
+    if host is not None:
+        if host not in pids:
+            pids[host] = len(pids)
+        pid = pids[host]
+    event: Dict[str, Any] = {
+        "ph": "X",
+        "name": span.name,
+        "cat": "sim",
+        "ts": span.start_us,
+        "dur": (
+            span.end_us - span.start_us if span.end_us is not None else 0.0
+        ),
+        "pid": pid,
+        "tid": tid,
+    }
+    args: Dict[str, Any] = {}
+    if span.tags:
+        args.update(span.tags)
+    if span.annotations:
+        args["annotations"] = list(span.annotations)
+    if span.end_us is None:
+        args["open"] = True
+    if args:
+        event["args"] = args
+    events.append(event)
+    for child in span.children:
+        _span_events(child, event["pid"], tid, pids, events)
+
+
+def to_chrome_trace(tracer: Tracer) -> Dict[str, Any]:
+    """Chrome ``trace_event`` JSON object from a tracer's span trees.
+
+    Every span becomes a complete ("X") event with microsecond
+    ``ts``/``dur``. The process id groups spans by their ``host`` tag
+    (one pid per host, in first-seen order); the thread id groups each
+    root span's whole tree, so concurrent invocations render as
+    parallel tracks.
+    """
+    events: List[Dict[str, Any]] = []
+    pids: Dict[str, int] = {}
+    for tid, root in enumerate(tracer.roots):
+        _span_events(root, 0, tid, pids, events)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

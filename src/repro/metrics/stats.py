@@ -69,6 +69,36 @@ class Histogram:
     def total(self) -> int:
         return sum(self.counts)
 
+    def percentile(self, percentile: float) -> float:
+        """Nearest-rank percentile, resolved to the lower edge of the
+        bucket holding that rank (the
+        :meth:`FleetReport.latency_percentile` convention applied to
+        bucketed data). Returns 0.0 for an empty histogram.
+        """
+        total = self.total
+        if total == 0:
+            return 0.0
+        if percentile <= 0:
+            rank = 1
+        else:
+            rank = min(total, math.ceil(percentile / 100.0 * total))
+        cumulative = 0
+        for edge, count in zip(self.edges, self.counts):
+            cumulative += count
+            if cumulative >= rank:
+                return edge
+        return self.edges[-1]
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Combine two histograms over identical edges (per-host
+        fault-time histograms folding into a cluster-wide one)."""
+        if self.edges != other.edges:
+            raise ValueError("cannot merge histograms with different edges")
+        return Histogram(
+            edges=list(self.edges),
+            counts=[a + b for a, b in zip(self.counts, other.counts)],
+        )
+
     def buckets(self) -> List[Tuple[str, int]]:
         """``(label, count)`` pairs; labels name the lower edge."""
         labels = []

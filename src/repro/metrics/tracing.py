@@ -48,8 +48,13 @@ class Span:
         self.tags[key] = value
 
     def to_dict(self) -> dict:
-        """JSON-ready representation (Zipkin-flavoured fields)."""
-        return {
+        """JSON-ready representation (Zipkin-flavoured fields).
+
+        Still-open spans serialize with ``duration_us: null`` and an
+        explicit ``open: true`` marker, so consumers can branch on the
+        marker instead of discovering the null arithmetically.
+        """
+        d = {
             "name": self.name,
             "timestamp_us": self.start_us,
             "duration_us": (
@@ -59,6 +64,9 @@ class Span:
             "tags": dict(self.tags),
             "children": [child.to_dict() for child in self.children],
         }
+        if self.end_us is None:
+            d["open"] = True
+        return d
 
     def find(self, name: str) -> Optional["Span"]:
         """Depth-first lookup of a descendant span by name."""

@@ -17,6 +17,8 @@ import heapq
 from sys import getrefcount
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
+from repro.metrics.telemetry import MetricsRegistry
+
 #: Upper bound on pooled Timeout objects kept for reuse per
 #: environment. Big simulations churn through millions of timeouts;
 #: a small pool captures nearly all of the reuse without pinning
@@ -339,6 +341,20 @@ class Environment:
         self.events_processed = 0
         #: Recycled Timeout objects (see :meth:`timeout`).
         self._timeout_pool: List[Timeout] = []
+        #: The run's telemetry registry: every component built on this
+        #: environment registers its instruments here, so one registry
+        #: holds the whole run's picture. Pull-based — dispatch never
+        #: touches it.
+        self.metrics = MetricsRegistry()
+        self.metrics.pull_counter(
+            "sim.engine.events", lambda: self.events_processed
+        )
+        self.metrics.gauge(
+            "sim.engine.queue_depth", lambda: len(self._queue)
+        )
+        self.metrics.gauge(
+            "sim.engine.timeout_pool", lambda: len(self._timeout_pool)
+        )
 
     @property
     def now(self) -> float:

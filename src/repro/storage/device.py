@@ -78,13 +78,69 @@ class DeviceStats:
 class BlockDevice:
     """A simulated block device attached to a simulation environment."""
 
-    def __init__(self, env: Environment, spec: DeviceSpec):
+    def __init__(
+        self,
+        env: Environment,
+        spec: DeviceSpec,
+        metrics_prefix: Optional[str] = None,
+    ):
         self.env = env
         self.spec = spec
         self.stats = DeviceStats()
         self._slots = Resource(env, capacity=spec.queue_depth)
         self._channel = Resource(env, capacity=1)
         self._next_sequential_offset: Optional[int] = None
+        self._register_metrics(metrics_prefix)
+
+    def _register_metrics(self, metrics_prefix: Optional[str]) -> None:
+        """Join the run's registry under ``metrics_prefix`` (default
+        ``storage.<spec name>``, de-duplicated per registry).
+
+        All pull-based: closures read ``self.stats`` at collection
+        time, so :meth:`reset_stats` swapping the stats object stays
+        cheap and the read hot path never touches an instrument.
+        """
+        registry = getattr(self.env, "metrics", None)
+        if registry is None:
+            self.metrics_prefix = None
+            return
+        prefix = registry.unique_prefix(
+            metrics_prefix or f"storage.{self.spec.name}"
+        )
+        self.metrics_prefix = prefix
+        registry.pull_counter(
+            f"{prefix}.requests", lambda: self.stats.requests
+        )
+        registry.pull_counter(
+            f"{prefix}.sequential_requests",
+            lambda: self.stats.sequential_requests,
+        )
+        registry.pull_counter(
+            f"{prefix}.bytes_read", lambda: self.stats.bytes_read
+        )
+        registry.pull_counter(
+            f"{prefix}.busy_time_us", lambda: self.stats.busy_time_us
+        )
+        registry.pull_counter(
+            f"{prefix}.queue_wait_us", lambda: self.stats.queue_wait_us
+        )
+        registry.gauge(
+            f"{prefix}.queue_depth", lambda: self._slots.in_use
+        )
+        registry.gauge(
+            f"{prefix}.channel_in_use", lambda: self._channel.in_use
+        )
+        registry.profiler.add_pull(
+            f"{prefix}.service",
+            lambda: (
+                self.stats.busy_time_us - self.stats.queue_wait_us,
+                self.stats.requests,
+            ),
+        )
+        registry.profiler.add_pull(
+            f"{prefix}.queueing",
+            lambda: (self.stats.queue_wait_us, self.stats.requests),
+        )
 
     def read(
         self, offset: int, nbytes: int

@@ -119,7 +119,23 @@ class VCpu:
             records.append(record)
         if tail_think_us > 0:
             yield from self._compute(tail_think_us)
+        self._count_paths(len(records), slow=len(records))
         return VCpuResult(started, self.env.now, records)
+
+    def _count_paths(self, total: int, slow: int) -> None:
+        """Attribute this run's accesses to the fast vs event path in
+        the host's telemetry bundle (one batched update at trace end;
+        the access loop itself stays instrument-free)."""
+        telemetry = getattr(self.handler.cache, "telemetry", None)
+        if telemetry is None or total == 0:
+            return
+        fast = total - slow
+        telemetry.vcpu_fast.value += fast
+        telemetry.vcpu_slow.value += slow
+        if fast:
+            telemetry.profiler.add("vcpu.fast_path", 0.0, fast)
+        if slow:
+            telemetry.profiler.add("vcpu.event_path", 0.0, slow)
 
     def _run_trace_batched(
         self, trace: List[GuestAccess], tail_think_us: float = 0.0
@@ -142,6 +158,7 @@ class VCpu:
         fast_access = handler.fast_access
         append = records.append
         no_cpu = self.cpu is None
+        slow = 0
         for access in trace:
             if access.think_us > 0:
                 if no_cpu:
@@ -173,6 +190,7 @@ class VCpu:
                     access.page, write=access.write, value=access.value
                 )
                 vnow = env.now
+                slow += 1
             else:
                 record, vnow = fast
             append(record)
@@ -186,6 +204,7 @@ class VCpu:
                 vnow = env.now
         if vnow > env.now:
             yield env.wake_at(vnow)
+        self._count_paths(len(records), slow)
         return VCpuResult(started, env.now, records)
 
     def _compute(self, think_us: float) -> Generator[Event, Any, None]:

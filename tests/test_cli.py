@@ -67,3 +67,125 @@ def test_fleet_command(capsys):
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+# -- telemetry outputs -------------------------------------------------
+
+
+def test_telemetry_command_renders_report(capsys):
+    code = main(["telemetry", "hello-world", "--policy", "faasnap"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Profiler phases" in out
+    assert "(unattributed)" in out
+    assert "Page-cache hit rates" in out
+    assert "Sampled gauges" in out
+
+
+def test_telemetry_command_writes_all_outputs(tmp_path, capsys):
+    import json
+
+    metrics = tmp_path / "metrics.json"
+    chrome = tmp_path / "chrome.json"
+    prom = tmp_path / "metrics.prom"
+    code = main(
+        [
+            "telemetry",
+            "hello-world",
+            "--metrics-out",
+            str(metrics),
+            "--chrome-trace",
+            str(chrome),
+            "--prometheus-out",
+            str(prom),
+        ]
+    )
+    assert code == 0
+    capsys.readouterr()
+    doc = json.loads(metrics.read_text())
+    assert doc["schema"] == "repro.telemetry/1"
+    assert "sim.engine.events" in doc["counters"]
+    assert doc["samples"]["times_us"]
+    trace = json.loads(chrome.read_text())
+    assert trace["traceEvents"]
+    assert {"ph", "ts", "dur", "pid", "tid", "name"} <= set(
+        trace["traceEvents"][0]
+    )
+    assert "# TYPE" in prom.read_text()
+
+
+def test_invoke_metrics_out(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "m.json"
+    code = main(
+        [
+            "invoke",
+            "hello-world",
+            "--policy",
+            "faasnap",
+            "--metrics-out",
+            str(path),
+        ]
+    )
+    assert code == 0
+    capsys.readouterr()
+    doc = json.loads(path.read_text())
+    assert doc["counters"]["host0.invocations"] == 1
+
+
+def test_cluster_metrics_out_enables_sampler(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "cluster.json"
+    code = main(
+        [
+            "cluster",
+            "--functions",
+            "2",
+            "--hours",
+            "0.05",
+            "--hosts",
+            "2",
+            "--metrics-out",
+            str(path),
+        ]
+    )
+    assert code == 0
+    capsys.readouterr()
+    doc = json.loads(path.read_text())
+    assert "cluster.scheduler.invocations" in doc["counters"]
+    # --metrics-out without --sample-interval-ms defaults to 100 ms.
+    assert doc["samples"]["interval_us"] == 100_000.0
+
+
+def test_output_path_with_missing_directory_fails(tmp_path, capsys):
+    path = tmp_path / "no" / "such" / "dir" / "m.json"
+    code = main(
+        [
+            "invoke",
+            "hello-world",
+            "--policy",
+            "faasnap",
+            "--metrics-out",
+            str(path),
+        ]
+    )
+    assert code == 2
+    assert "does not exist" in capsys.readouterr().err
+    assert not path.exists()
+
+
+def test_experiment_metrics_out_merges_shards(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "merged.json"
+    code = main(
+        ["experiment", "fig2", "--metrics-out", str(path)]
+    )
+    assert code == 0
+    capsys.readouterr()
+    doc = json.loads(path.read_text())
+    assert doc["shards"] >= 1
+    assert doc["virtual_time_us"] > 0
+    assert "gauges" not in doc

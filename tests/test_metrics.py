@@ -77,6 +77,58 @@ def test_fault_time_histogram():
     assert histogram.as_dict()[">=512"] == 1
 
 
+def test_histogram_percentile_nearest_rank():
+    histogram = Histogram(edges=[0.0, 1.0, 10.0, 100.0])
+    for value in (0.5, 0.6, 5.0, 50.0):
+        histogram.add(value)
+    # Ranks resolve to the lower edge of the holding bucket.
+    assert histogram.percentile(0) == 0.0
+    assert histogram.percentile(50) == 0.0
+    assert histogram.percentile(75) == 1.0
+    assert histogram.percentile(100) == 10.0
+
+
+def test_histogram_percentile_empty():
+    assert Histogram(edges=[0.0, 1.0]).percentile(99) == 0.0
+
+
+def test_histogram_percentile_single_bucket():
+    histogram = Histogram(edges=[1.0, 2.0])
+    histogram.add(1.5)
+    for p in (0, 50, 99, 100):
+        assert histogram.percentile(p) == 1.0
+
+
+def test_histogram_percentile_overflow_bucket():
+    histogram = Histogram(edges=[0.0, 1.0])
+    histogram.add(999.0)
+    assert histogram.percentile(100) == 1.0
+
+
+def test_histogram_merge_sums_counts():
+    a = Histogram(edges=[0.0, 1.0, 10.0])
+    b = Histogram(edges=[0.0, 1.0, 10.0])
+    a.add_all([0.5, 5.0])
+    b.add_all([0.5, 100.0])
+    merged = a.merge(b)
+    assert merged.counts == [2, 1, 1]
+    # Inputs untouched: merge returns a new histogram.
+    assert a.counts == [1, 1, 0]
+    assert b.counts == [1, 0, 1]
+
+
+def test_histogram_merge_empty_is_identity():
+    a = Histogram(edges=[0.0, 1.0])
+    a.add(0.5)
+    merged = a.merge(Histogram(edges=[0.0, 1.0]))
+    assert merged.counts == a.counts
+
+
+def test_histogram_merge_rejects_mismatched_edges():
+    with pytest.raises(ValueError):
+        Histogram(edges=[0.0, 1.0]).merge(Histogram(edges=[0.0, 2.0]))
+
+
 # -- table rendering ------------------------------------------------------
 
 

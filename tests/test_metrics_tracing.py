@@ -65,6 +65,32 @@ def test_end_closes_dangling_children():
     assert outer.children[0].end_us is not None
 
 
+def test_open_span_serializes_with_marker():
+    span = Span(name="open", start_us=3.0)
+    payload = span.to_dict()
+    assert payload["duration_us"] is None
+    assert payload["open"] is True
+    assert payload["timestamp_us"] == 3.0
+
+
+def test_closed_span_serializes_without_marker():
+    span = Span(name="closed", start_us=3.0, end_us=8.0)
+    payload = span.to_dict()
+    assert payload["duration_us"] == 5.0
+    assert "open" not in payload
+
+
+def test_open_child_marker_survives_json():
+    import json
+
+    root = Span(name="root", start_us=0.0, end_us=10.0)
+    root.children.append(Span(name="dangling", start_us=2.0))
+    parsed = json.loads(json.dumps(root.to_dict()))
+    assert "open" not in parsed
+    assert parsed["children"][0]["open"] is True
+    assert parsed["children"][0]["duration_us"] is None
+
+
 def test_record_posthoc_span():
     env = Environment()
     tracer = Tracer(env)
