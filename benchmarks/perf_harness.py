@@ -95,13 +95,16 @@ def run_workload(cells) -> dict:
 CLUSTER_HOSTS = 4
 
 
-def run_cluster_workload(sampler_interval_us=None) -> dict:
+def run_cluster_workload(sampler_interval_us=None, fault_plan=None) -> dict:
     """Serve a dense fleet trace on the multi-host cluster scheduler.
 
     ``sampler_interval_us`` turns on the telemetry gauge sampler; the
     smoke gate runs the workload with and without it and requires
     identical invocation counts and latency checksums (the
-    zero-perturbation guard).
+    zero-perturbation guard). ``fault_plan`` routes serving through
+    the fault-injection machinery; the smoke gate passes an *empty*
+    plan and requires the same bit-identical results — arming the
+    fault plane must cost nothing when no fault fires.
     """
     from repro.cluster import ClusterConfig, ClusterSimulator
     from repro.fleet.workload import generate_arrivals, synthesize_fleet
@@ -121,7 +124,9 @@ def run_cluster_workload(sampler_interval_us=None) -> dict:
     )
     started = time.perf_counter()
     report = ClusterSimulator(fleet, config).run(
-        trace, sampler_interval_us=sampler_interval_us
+        trace,
+        sampler_interval_us=sampler_interval_us,
+        fault_plan=fault_plan,
     )
     elapsed = time.perf_counter() - started
     return {
@@ -279,14 +284,32 @@ def main() -> int:
             )
             status = 1
 
+    # Fault-plane perturbation guard: the same workload with an armed
+    # (but empty) fault plan runs the robust serving path — attempt
+    # processes, race combinators, retry bookkeeping — and must still
+    # produce bit-identical invocation counts and latency checksums.
+    from repro.faults import FaultPlan
+
+    armed_metrics = run_cluster_workload(fault_plan=FaultPlan.empty())
+    for exact_key in ("invocations", "latency_checksum_us"):
+        if armed_metrics[exact_key] != cluster_metrics[exact_key]:
+            print(
+                f"FAIL: fault-armed cluster {exact_key} "
+                f"{armed_metrics[exact_key]} != unarmed "
+                f"{cluster_metrics[exact_key]} — the empty fault plan "
+                "perturbed the simulation",
+                file=sys.stderr,
+            )
+            status = 1
+
     if status == 0:
         print(
             f"OK: events/sec within {args.threshold:.0%} of baseline "
             f"({metrics['events_per_sec']:.0f} vs "
             f"{baseline['events_per_sec']:.0f}), event count exact; "
             f"cluster {cluster_metrics['invocations_per_sec']:.2f} inv/sec "
-            f"({CLUSTER_HOSTS} hosts), checksums exact; telemetry "
-            "perturbation guard passed"
+            f"({CLUSTER_HOSTS} hosts), checksums exact; telemetry and "
+            "fault-plane perturbation guards passed"
         )
     return status
 

@@ -15,6 +15,10 @@ Commands:
 * ``telemetry`` — run a function under full instrumentation and
   render the telemetry report (profiler phases, hot components, hit
   rates, sampled gauges).
+* ``chaos`` — run a failure-injection drill (host-crash storm,
+  device brownout, snapshot corruption, EBS latency spike) against
+  the self-healing cluster and report availability, goodput, retry
+  amplification and tail latency vs the fault-free baseline.
 
 ``invoke``, ``cluster`` and ``telemetry`` accept ``--trace-out FILE``
 to export the recorded spans as Zipkin-flavoured JSON (tagged per
@@ -317,6 +321,16 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     report = simulator.run(
         trace, tracer=tracer, sampler_interval_us=sampler_interval_us
     )
+    if args.report_out:
+        from repro.metrics.exporters import fleet_report_doc
+
+        status = _write_output(
+            args.report_out,
+            json.dumps(fleet_report_doc(report), indent=2, sort_keys=True),
+            f"serving report ({report.count()} invocations)",
+        )
+        if status:
+            return status
     rows = [
         ["invocations", report.count()],
         ["prep (s)", report.prep_us / 1e6],
@@ -372,6 +386,53 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         sampler=simulator.sampler,
         total_us=simulator.env.now,
     )
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults import DISABLED_RECOVERY
+    from repro.faults.chaos import SCENARIO_NAMES, run_chaos
+
+    names = (
+        list(SCENARIO_NAMES) if args.scenario == "all" else [args.scenario]
+    )
+    recovery = DISABLED_RECOVERY if args.no_recovery else None
+    status = 0
+    reports = []
+    for name in names:
+        report = run_chaos(
+            name,
+            num_hosts=args.hosts,
+            seed=args.seed,
+            arrivals=args.arrivals,
+            recovery=recovery,
+        )
+        reports.append(report)
+        print(report.render())
+        if (
+            args.min_availability is not None
+            and report.availability < args.min_availability
+        ):
+            print(
+                f"FAIL: {name} availability {report.availability:.4f} "
+                f"below required {args.min_availability:.4f}",
+                file=sys.stderr,
+            )
+            status = 1
+    if args.report_out:
+        doc = (
+            reports[0].as_dict()
+            if len(reports) == 1
+            else [r.as_dict() for r in reports]
+        )
+        status = (
+            _write_output(
+                args.report_out,
+                json.dumps(doc, indent=2, sort_keys=True),
+                f"chaos report ({len(reports)} drill(s))",
+            )
+            or status
+        )
+    return status
 
 
 def _cmd_telemetry(args: argparse.Namespace) -> int:
@@ -571,7 +632,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="virtual-time gauge sampling cadence (default: 100 ms "
         "when --metrics-out is given, otherwise off)",
     )
+    cluster.add_argument(
+        "--report-out",
+        default=None,
+        metavar="FILE",
+        help="write every served invocation (with outcome and attempt "
+        "count) plus the availability summary as JSON",
+    )
     cluster.set_defaults(handler=_cmd_cluster)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a failure-injection drill against the cluster and "
+        "report availability, goodput and tail latency",
+    )
+    from repro.faults.chaos import SCENARIO_NAMES
+
+    chaos.add_argument(
+        "--scenario",
+        default="all",
+        choices=["all"] + list(SCENARIO_NAMES),
+        help="which drill to run (default: all of them)",
+    )
+    chaos.add_argument("--hosts", type=int, default=4)
+    chaos.add_argument("--seed", type=int, default=1)
+    chaos.add_argument(
+        "--arrivals",
+        type=int,
+        default=60,
+        metavar="N",
+        help="invocations in the drill trace (default 60)",
+    )
+    chaos.add_argument(
+        "--no-recovery",
+        action="store_true",
+        help="disable retries/hedging/failover to measure the "
+        "unprotected cluster",
+    )
+    chaos.add_argument(
+        "--report-out",
+        default=None,
+        metavar="FILE",
+        help="write the drill report(s) as deterministic JSON",
+    )
+    chaos.add_argument(
+        "--min-availability",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="exit non-zero if any drill's availability falls below "
+        "this fraction",
+    )
+    chaos.set_defaults(handler=_cmd_chaos)
 
     telemetry = sub.add_parser(
         "telemetry",

@@ -1,7 +1,12 @@
 """Placement policies: which host serves the next invocation.
 
-A policy sees a read-only sequence of per-host views and picks an
-index. The views expose exactly what production placers use:
+A policy sees a read-only sequence of per-host views and picks a
+*position into that sequence*. Callers usually pass every host, in
+which case the position equals the host's global index — but wrappers
+like :class:`HealthFiltered` pass filtered subsequences and map the
+position back, which is why policies must not assume
+``hosts[i].index == i``. The views expose exactly what production
+placers use:
 
 * ``load`` — invocations currently running or queued on the host;
 * ``has_idle_warm(function)`` — an idle warm VM of the function is
@@ -46,7 +51,10 @@ class PlacementPolicy(abc.ABC):
 
     @abc.abstractmethod
     def choose(self, hosts: Sequence[HostView], function: str) -> int:
-        """Index of the host that should serve ``function``."""
+        """Position in ``hosts`` of the host that should serve
+        ``function``. ``hosts`` is non-empty but may be a filtered
+        subsequence of the cluster (so ``hosts[i].index`` need not
+        equal ``i``)."""
 
 
 class RoundRobin(PlacementPolicy):
@@ -71,7 +79,7 @@ class LeastLoaded(PlacementPolicy):
     name = "least-loaded"
 
     def choose(self, hosts: Sequence[HostView], function: str) -> int:
-        return min(hosts, key=lambda h: (h.load, h.index)).index
+        return _best(hosts, range(len(hosts)))
 
 
 class SnapshotLocality(PlacementPolicy):
@@ -86,13 +94,58 @@ class SnapshotLocality(PlacementPolicy):
     name = "locality"
 
     def choose(self, hosts: Sequence[HostView], function: str) -> int:
-        warm = [h for h in hosts if h.has_idle_warm(function)]
+        warm = [
+            i for i, h in enumerate(hosts) if h.has_idle_warm(function)
+        ]
         if warm:
-            return min(warm, key=lambda h: (h.load, h.index)).index
-        local = [h for h in hosts if h.has_snapshot_for(function)]
+            return _best(hosts, warm)
+        local = [
+            i for i, h in enumerate(hosts) if h.has_snapshot_for(function)
+        ]
         if local:
-            return min(local, key=lambda h: (h.load, h.index)).index
-        return min(hosts, key=lambda h: (h.load, h.index)).index
+            return _best(hosts, local)
+        return _best(hosts, range(len(hosts)))
+
+
+def _best(hosts: Sequence[HostView], positions) -> int:
+    """Position (from ``positions``) of the least-loaded candidate,
+    ties broken by global host index — identical placements to the
+    old return-the-``.index`` form whenever the full host list is
+    passed, but correct on filtered subsequences too."""
+    return min(positions, key=lambda i: (hosts[i].load, hosts[i].index))
+
+
+class HealthFiltered(PlacementPolicy):
+    """Decorator that hides unhealthy hosts from an inner policy.
+
+    Views carrying a falsy ``healthy`` attribute (drained or crashed
+    hosts, as maintained by
+    :class:`~repro.faults.health.HealthMonitor`) are dropped before
+    the inner policy chooses; the chosen position is then mapped back
+    into the caller's sequence. When *every* host is unhealthy the
+    full list is used unfiltered — routing somewhere and letting the
+    robust serve path fail fast beats dropping the arrival with no
+    defined outcome. Views without a ``healthy`` attribute are
+    treated as healthy, so the wrapper is inert on schedulers that
+    predate health tracking."""
+
+    def __init__(self, inner: PlacementPolicy):
+        self.inner = inner
+        self.name = inner.name
+        #: Placements that had to route around >= 1 unhealthy host.
+        self.filtered_choices = 0
+
+    def choose(self, hosts: Sequence[HostView], function: str) -> int:
+        healthy = [
+            i
+            for i, h in enumerate(hosts)
+            if getattr(h, "healthy", True)
+        ]
+        if not healthy or len(healthy) == len(hosts):
+            return self.inner.choose(hosts, function)
+        self.filtered_choices += 1
+        views = [hosts[i] for i in healthy]
+        return healthy[self.inner.choose(views, function)]
 
 
 class CountingPlacement(PlacementPolicy):

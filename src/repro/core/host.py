@@ -103,6 +103,11 @@ class Host:
         )
         self._artifacts: Dict[ArtifactKey, RecordArtifacts] = {}
         self._tags = itertools.count()
+        #: Crash state (fault injection): a crashed host serves
+        #: nothing until rebooted. Snapshot artefacts live on durable
+        #: storage and survive; the page cache does not.
+        self.crashed = False
+        self.crash_count = 0
         registry = getattr(env, "metrics", None)
         if registry is not None and self.cache.metrics_root is not None:
             registry.gauge(
@@ -214,6 +219,29 @@ class Host:
             loader_gate=loader_gate,
             tracer=tracer,
         )
+
+    # -- crash lifecycle -----------------------------------------------
+
+    def crash(self) -> None:
+        """Power-fail the host: volatile state (page cache, readahead
+        window) is lost immediately. Device counters survive — they
+        model the run's accounting, not on-host RAM — and so do the
+        snapshot files and record-artefact index, which live on
+        durable storage. The *caller* (scheduler / injector) is
+        responsible for aborting in-flight work and discarding
+        keep-alive VMs, which are scheduler-owned state."""
+        self.crashed = True
+        self.crash_count += 1
+        self.cache.drop_all()
+        self.device.reset_readahead()
+        if self.local_device is not None:
+            self.local_device.reset_readahead()
+
+    def reboot(self) -> None:
+        """Bring a crashed host back with cold caches."""
+        if not self.crashed:
+            raise RuntimeError(f"reboot() of a running host {self.host_id}")
+        self.crashed = False
 
     # -- housekeeping --------------------------------------------------
 

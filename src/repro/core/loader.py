@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Generator, List, Sequence, Tuple
 
+from repro.faults.errors import DeviceError
 from repro.host.page_cache import PageCache
 from repro.sim import Environment, Event
 from repro.storage.filestore import StoredFile
@@ -46,6 +47,9 @@ class LoaderStats:
     pages_fetched: int = 0
     bytes_read: int = 0
     requests: int = 0
+    #: Injected I/O errors that made the loader give up early. The
+    #: guest then demand-faults the unfetched pages itself.
+    errors: int = 0
 
     @property
     def fetch_time_us(self) -> float:
@@ -106,9 +110,20 @@ def loading_set_loader(
 ) -> Generator[Event, Any, LoaderStats]:
     """Process helper: stream the whole loading-set file sequentially."""
     stats.started_us = env.now
-    for start in range(0, loading_file.num_pages, chunk_pages):
-        npages = min(chunk_pages, loading_file.num_pages - start)
-        yield from _read_chunk(env, cache, loading_file, start, npages, stats)
+    try:
+        for start in range(0, loading_file.num_pages, chunk_pages):
+            npages = min(chunk_pages, loading_file.num_pages - start)
+            yield from _read_chunk(
+                env, cache, loading_file, start, npages, stats
+            )
+    except DeviceError:
+        # A daemon loader thread hitting an I/O error gives up: the
+        # remaining pages are simply never prefetched and the guest
+        # demand-faults them. Absorbing the error here (the chunk
+        # reader already abandoned its pending marks) keeps the
+        # loader process from dying unobserved — the invocation may
+        # have finished without ever joining it.
+        stats.errors += 1
     stats.finished_us = env.now
     return stats
 
@@ -154,7 +169,16 @@ def ordered_pages_loader(
     """Process helper: prefetch ``pages`` from the memory file in the
     given order, coalescing nearby ascending pages into single reads."""
     stats.started_us = env.now
-    for start, npages in coalesce_ordered_pages(pages, coalesce_gap, chunk_pages):
-        yield from _read_chunk(env, cache, memory_file, start, npages, stats)
+    try:
+        for start, npages in coalesce_ordered_pages(
+            pages, coalesce_gap, chunk_pages
+        ):
+            yield from _read_chunk(
+                env, cache, memory_file, start, npages, stats
+            )
+    except DeviceError:
+        # Same bail-out as loading_set_loader: give up on the first
+        # injected I/O error and let demand paging cover the rest.
+        stats.errors += 1
     stats.finished_us = env.now
     return stats

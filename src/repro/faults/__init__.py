@@ -1,0 +1,82 @@
+"""Failure injection and self-healing recovery.
+
+A production FaaS control plane is defined less by its happy path
+than by what happens when hosts crash, devices stall, and snapshot
+artefacts go bad — cold-start tails are dominated by failures. This
+package gives the reproduction both halves of that story:
+
+* **Injection** — :class:`~repro.faults.plan.FaultPlan` declares a
+  seeded, virtual-time schedule of failures (device degradation and
+  stalls, transient/permanent host crashes, snapshot corruption,
+  network-tier latency/error spikes for the shared-EBS path), and
+  :class:`~repro.faults.injector.FaultInjector` replays it against a
+  running cluster. Everything is deterministic: all randomness flows
+  from the run seed through ``Environment.rng``.
+* **Recovery** — :class:`~repro.faults.recovery.RecoveryPolicy`
+  bundles per-invocation deadlines, jittered exponential-backoff
+  retries under a global retry budget, tail-latency hedging with
+  loser cancellation, and admission-control load shedding with a
+  degraded restore mode; :class:`~repro.faults.health.HealthMonitor`
+  turns telemetry signals into host health for placement failover.
+* **Chaos** — :mod:`~repro.faults.chaos` packages canned scenarios
+  (host-crash storm, slow-device brownout, corrupted-snapshot
+  epidemic, EBS latency spike) behind ``python -m repro chaos`` and
+  reports availability, goodput, retry amplification, and tail
+  latency against the no-fault run.
+
+The layer is zero-cost when idle: with an empty plan and default
+recovery policy, the cluster produces bit-identical results to a run
+with no fault machinery at all (the perf harness gates this).
+"""
+
+from repro.faults.errors import (
+    DeadlineExceeded,
+    DeviceError,
+    FaultError,
+    HostCrashed,
+    SnapshotCorrupted,
+)
+from repro.faults.health import HealthMonitor
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    SCOPE_ALL,
+    SCOPE_SHARED,
+    DeviceFault,
+    FaultPlan,
+    HostCrash,
+    SnapshotCorruption,
+)
+from repro.faults.recovery import (
+    DISABLED_RECOVERY,
+    HealthPolicy,
+    HedgePolicy,
+    HedgeTracker,
+    RecoveryPolicy,
+    RetryBudget,
+    RetryPolicy,
+    SheddingPolicy,
+)
+
+__all__ = [
+    "DISABLED_RECOVERY",
+    "DeadlineExceeded",
+    "DeviceError",
+    "DeviceFault",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "HealthMonitor",
+    "HealthPolicy",
+    "HedgePolicy",
+    "HedgeTracker",
+    "HostCrash",
+    "HostCrashed",
+    "RecoveryPolicy",
+    "RetryBudget",
+    "RetryPolicy",
+    "SCOPE_ALL",
+    "SCOPE_SHARED",
+    "SheddingPolicy",
+    "SnapshotCorrupted",
+    "SnapshotCorruption",
+]

@@ -1,0 +1,131 @@
+"""Telemetry-driven host health.
+
+The :class:`HealthMonitor` is the control loop that turns raw failure
+signals (attempt errors, crash flags) into a per-host ``healthy`` bit
+that placement consults. Draining is conservative and immediate —
+:meth:`note_failure` re-evaluates the affected host at the instant of
+the failure rather than waiting for the next periodic sweep — while
+reintegration is deliberately slow: a host must look clean for a full
+quiet period before traffic returns, so a flapping host cannot whip
+the placement policy back and forth.
+
+Host state is duck-typed (the cluster scheduler passes its internal
+per-host records). Each state must expose::
+
+    host          -> object with ``.crashed`` and ``.host_id``
+    healthy       -> mutable bool (placement reads this)
+    error_times   -> mutable list of failure timestamps (us, sorted)
+    last_bad_us   -> mutable float, monitor-owned bookkeeping
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional, Sequence
+
+from repro.faults.recovery import HealthPolicy
+from repro.sim import Environment, Event, Interrupt
+
+
+class HealthMonitor:
+    """Periodic health sweeps plus instant drain on failure."""
+
+    def __init__(
+        self,
+        env: Environment,
+        policy: HealthPolicy,
+        states: Sequence[Any],
+        on_drain: Optional[Callable[[Any], None]] = None,
+        on_reintegrate: Optional[Callable[[Any], None]] = None,
+    ):
+        self.env = env
+        self.policy = policy
+        self.states = list(states)
+        self.on_drain = on_drain
+        self.on_reintegrate = on_reintegrate
+        self.drains = 0
+        self.reintegrations = 0
+        self.checks = 0
+        self._proc = None
+        registry = getattr(env, "metrics", None)
+        if registry is not None:
+            prefix = registry.unique_prefix("health")
+            registry.pull_counter(f"{prefix}.drains", lambda: self.drains)
+            registry.pull_counter(
+                f"{prefix}.reintegrations", lambda: self.reintegrations
+            )
+            registry.pull_counter(f"{prefix}.checks", lambda: self.checks)
+            registry.gauge(
+                f"{prefix}.unhealthy_hosts",
+                lambda: sum(1 for s in self.states if not s.healthy),
+            )
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self):
+        """Spawn the periodic sweep process (call :meth:`stop` when
+        the workload drains, or the sweep keeps the run alive)."""
+        if self._proc is not None:
+            raise RuntimeError("HealthMonitor.start() called twice")
+        self._proc = self.env.process(self._run(), name="health.monitor")
+        return self._proc
+
+    def stop(self) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("health monitor stopped")
+
+    def _run(self) -> Generator[Event, Any, None]:
+        try:
+            while True:
+                yield self.env.timeout(self.policy.check_interval_us)
+                self.check_now()
+        except Interrupt:
+            return
+
+    # -- signals -------------------------------------------------------
+
+    def note_failure(self, state: Any) -> None:
+        """Record one attempt failure on ``state``'s host and
+        re-evaluate it immediately (fast drain)."""
+        state.error_times.append(self.env.now)
+        self._evaluate(state)
+
+    def check_now(self) -> None:
+        """One sweep over every host (the periodic path; also drives
+        reintegration, which has no triggering event)."""
+        self.checks += 1
+        for state in self.states:
+            self._evaluate(state)
+
+    # -- evaluation ----------------------------------------------------
+
+    def _evaluate(self, state: Any) -> None:
+        now = self.env.now
+        cutoff = now - self.policy.window_us
+        errors = state.error_times
+        drop = 0
+        for t in errors:
+            if t < cutoff:
+                drop += 1
+            else:
+                break
+        if drop:
+            del errors[:drop]
+        bad = (
+            state.host.crashed
+            or len(errors) >= self.policy.error_threshold
+        )
+        if state.healthy:
+            if bad:
+                state.healthy = False
+                state.last_bad_us = now
+                self.drains += 1
+                if self.on_drain is not None:
+                    self.on_drain(state)
+        else:
+            if bad:
+                state.last_bad_us = now
+            elif now - state.last_bad_us >= self.policy.reintegrate_after_us:
+                state.healthy = True
+                self.reintegrations += 1
+                if self.on_reintegrate is not None:
+                    self.on_reintegrate(state)

@@ -1,0 +1,176 @@
+"""Replaying a :class:`~repro.faults.plan.FaultPlan` against a run.
+
+The injector is deliberately dumb: each fault in the plan becomes one
+small simulation process that sleeps until the fault's virtual time,
+applies it through a narrow *target* interface, and (for windowed
+faults) revokes it when the window closes. With an empty plan the
+injector spawns **zero** processes and touches nothing — the
+zero-perturbation guarantee the perf harness gates.
+
+The target is duck-typed so the injector does not import the cluster
+scheduler (which sits above it). It must provide::
+
+    devices_for_scope(scope) -> Sequence[BlockDevice]
+    crash_host(host_id)      -> None
+    reboot_host(host_id)     -> None
+
+Snapshot corruption is latent state the injector itself owns: the
+restore path asks :meth:`FaultInjector.check_snapshot` before using
+artefacts, and a positive answer both fails that restore and clears
+the mark (detection triggers repair/re-fetch).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Optional, Set, Tuple
+
+from repro.faults.plan import FaultPlan
+from repro.sim import Environment, Event
+from repro.storage.device import Degradation
+
+
+class FaultInjector:
+    """Schedules the faults of one plan on one environment."""
+
+    def __init__(self, env: Environment, plan: Optional[FaultPlan] = None):
+        self.env = env
+        self.plan = plan if plan is not None else FaultPlan.empty()
+        self._corrupted: Set[Tuple[str, str]] = set()
+        self._armed = False
+        # Plain ints on the hot side; exported as pull counters.
+        self.device_windows_opened = 0
+        self.device_windows_closed = 0
+        self.host_crashes = 0
+        self.host_reboots = 0
+        self.corruptions_marked = 0
+        self.corruptions_detected = 0
+
+    # -- arming --------------------------------------------------------
+
+    def arm(self, target: Any, epoch_us: Optional[float] = None) -> None:
+        """Start one process per planned fault, with fault times
+        interpreted relative to ``epoch_us`` (default: now). Arming
+        an empty plan is a no-op."""
+        if self._armed:
+            raise RuntimeError("FaultInjector.arm() called twice")
+        self._armed = True
+        self._register_metrics()
+        if self.plan.is_empty:
+            return
+        epoch = self.env.now if epoch_us is None else epoch_us
+        for fault in self.plan.device_faults:
+            self.env.process(
+                self._device_window(target, fault, epoch),
+                name=f"fault.device.{fault.scope}",
+            )
+        for crash in self.plan.host_crashes:
+            self.env.process(
+                self._crash(target, crash, epoch),
+                name=f"fault.crash.{crash.host}",
+            )
+        for corruption in self.plan.corruptions:
+            self.env.process(
+                self._corrupt(corruption, epoch),
+                name=f"fault.corrupt.{corruption.host}",
+            )
+
+    def _register_metrics(self) -> None:
+        registry = getattr(self.env, "metrics", None)
+        if registry is None:
+            return
+        prefix = registry.unique_prefix("fault")
+        registry.pull_counter(
+            f"{prefix}.device_windows_opened",
+            lambda: self.device_windows_opened,
+        )
+        registry.pull_counter(
+            f"{prefix}.device_windows_closed",
+            lambda: self.device_windows_closed,
+        )
+        registry.pull_counter(
+            f"{prefix}.host_crashes", lambda: self.host_crashes
+        )
+        registry.pull_counter(
+            f"{prefix}.host_reboots", lambda: self.host_reboots
+        )
+        registry.pull_counter(
+            f"{prefix}.corruptions_marked",
+            lambda: self.corruptions_marked,
+        )
+        registry.pull_counter(
+            f"{prefix}.corruptions_detected",
+            lambda: self.corruptions_detected,
+        )
+        registry.gauge(
+            f"{prefix}.corrupted_snapshots", lambda: len(self._corrupted)
+        )
+
+    # -- fault processes -----------------------------------------------
+
+    def _device_window(
+        self, target: Any, fault, epoch: float
+    ) -> Generator[Event, Any, None]:
+        yield self.env.timeout(
+            max(0.0, epoch + fault.start_us - self.env.now)
+        )
+        degradation = Degradation(
+            latency_factor=fault.latency_factor,
+            bandwidth_factor=fault.bandwidth_factor,
+            iops_factor=fault.iops_factor,
+            error_rate=fault.error_rate,
+        )
+        devices = list(target.devices_for_scope(fault.scope))
+        for device in devices:
+            device.push_degradation(degradation)
+        self.device_windows_opened += 1
+        if fault.duration_us is None:
+            return
+        yield self.env.timeout(fault.duration_us)
+        for device in devices:
+            device.pop_degradation(degradation)
+        self.device_windows_closed += 1
+
+    def _crash(
+        self, target: Any, crash, epoch: float
+    ) -> Generator[Event, Any, None]:
+        yield self.env.timeout(max(0.0, epoch + crash.at_us - self.env.now))
+        target.crash_host(crash.host)
+        self.host_crashes += 1
+        if crash.reboot_after_us is None:
+            return
+        yield self.env.timeout(crash.reboot_after_us)
+        target.reboot_host(crash.host)
+        self.host_reboots += 1
+
+    def _corrupt(self, corruption, epoch: float) -> Generator[Event, Any, None]:
+        yield self.env.timeout(
+            max(0.0, epoch + corruption.at_us - self.env.now)
+        )
+        self._corrupted.add((corruption.host, corruption.function))
+        self.corruptions_marked += 1
+
+    # -- restore-time validation ---------------------------------------
+
+    def check_snapshot(self, host_id: str, function: str) -> bool:
+        """True if ``function``'s artefacts on ``host_id`` are
+        currently corrupted. Detection clears the mark: validation
+        failed, the artefacts are rebuilt, and the *next* restore
+        sees healthy files."""
+        key = (host_id, function)
+        if key in self._corrupted:
+            self._corrupted.discard(key)
+            self.corruptions_detected += 1
+            return True
+        return False
+
+    # -- reporting -----------------------------------------------------
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "device_windows_opened": self.device_windows_opened,
+            "device_windows_closed": self.device_windows_closed,
+            "host_crashes": self.host_crashes,
+            "host_reboots": self.host_reboots,
+            "corruptions_marked": self.corruptions_marked,
+            "corruptions_detected": self.corruptions_detected,
+        }

@@ -41,6 +41,37 @@ class StartKind(enum.Enum):
     COLD = "cold"
 
 
+class InvocationOutcome(enum.Enum):
+    """The defined end state of one arrival.
+
+    Historically an invocation that raised inside a host process had
+    *no* defined outcome — the failure either crashed the run or
+    vanished. Every arrival now ends in exactly one of these states,
+    and reports account for all of them.
+    """
+
+    #: Completed on the first attempt.
+    OK = "ok"
+    #: Completed, but only after one or more retries.
+    RETRIED = "retried"
+    #: Completed because a tail-latency hedge attempt finished first.
+    HEDGE_WON = "hedge-won"
+    #: Rejected at admission by load shedding; never attempted.
+    SHED = "shed"
+    #: All attempts failed (crash, device error, deadline, budget).
+    FAILED = "failed"
+
+
+#: Outcomes that count as successfully served for availability.
+SERVED_OK = frozenset(
+    {
+        InvocationOutcome.OK,
+        InvocationOutcome.RETRIED,
+        InvocationOutcome.HEDGE_WON,
+    }
+)
+
+
 @dataclass(frozen=True)
 class FleetConfig:
     """Scheduler policy knobs."""
@@ -151,11 +182,30 @@ class IdlePool:
 class ServedInvocation:
     time_us: float
     function: str
-    kind: StartKind
+    #: Start kind of the winning attempt; ``None`` when the arrival
+    #: never started (shed, or failed before any start decision).
+    kind: Optional[StartKind]
     latency_us: float
     #: Host that served the invocation (single-host schedulers use
     #: the default).
     host: str = "host0"
+    #: Structured end state — see :class:`InvocationOutcome`.
+    outcome: InvocationOutcome = InvocationOutcome.OK
+    #: Attempts launched on its behalf (retries and hedges included;
+    #: 0 for a shed arrival).
+    attempts: int = 1
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (the exporters' serving-report schema)."""
+        return {
+            "time_us": self.time_us,
+            "function": self.function,
+            "kind": self.kind.value if self.kind is not None else None,
+            "latency_us": self.latency_us,
+            "host": self.host,
+            "outcome": self.outcome.value,
+            "attempts": self.attempts,
+        }
 
 
 @dataclass
@@ -175,22 +225,58 @@ class FleetReport:
     def fraction(self, kind: StartKind) -> float:
         return self.count(kind) / len(self.served) if self.served else 0.0
 
+    def ok_invocations(self) -> List[ServedInvocation]:
+        """The successfully served arrivals (ok / retried /
+        hedge-won). Latency statistics are computed over these: a
+        shed or failed arrival has no meaningful service latency, and
+        including its sentinel value would corrupt the tails."""
+        return [s for s in self.served if s.outcome in SERVED_OK]
+
+    def outcome_counts(self) -> Dict[str, int]:
+        """Arrivals per outcome, every outcome present (zeros too) so
+        serialized reports have a stable shape."""
+        counts = {outcome.value: 0 for outcome in InvocationOutcome}
+        for s in self.served:
+            counts[s.outcome.value] += 1
+        return counts
+
+    def availability(self) -> float:
+        """Fraction of arrivals successfully served (1.0 when there
+        were no arrivals — an empty run failed nobody)."""
+        if not self.served:
+            return 1.0
+        return len(self.ok_invocations()) / len(self.served)
+
+    def total_attempts(self) -> int:
+        return sum(s.attempts for s in self.served)
+
+    def retry_amplification(self) -> float:
+        """Attempts launched per arrival (1.0 = no extra work; 0.0
+        for an empty run). Retries and hedges both amplify."""
+        if not self.served:
+            return 0.0
+        return self.total_attempts() / len(self.served)
+
     def latency_percentile(self, percentile: float) -> float:
         """Latency at ``percentile`` (0..100) by the nearest-rank
         method: the smallest observation with at least ``percentile``
-        percent of the sample at or below it, microseconds."""
-        if not self.served:
+        percent of the sample at or below it, microseconds. Computed
+        over successfully served arrivals; 0.0 when none succeeded
+        (e.g. a fully-shed overload run)."""
+        ok = self.ok_invocations()
+        if not ok:
             return 0.0
-        ordered = sorted(s.latency_us for s in self.served)
+        ordered = sorted(s.latency_us for s in ok)
         if percentile <= 0:
             return ordered[0]
         rank = math.ceil(percentile / 100.0 * len(ordered))
         return ordered[min(len(ordered), rank) - 1]
 
     def mean_latency_us(self) -> float:
-        if not self.served:
+        ok = self.ok_invocations()
+        if not ok:
             return 0.0
-        return sum(s.latency_us for s in self.served) / len(self.served)
+        return sum(s.latency_us for s in ok) / len(ok)
 
     def mean_memory_mb(self) -> float:
         if not self.memory_samples_mb:

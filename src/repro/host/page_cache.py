@@ -282,6 +282,21 @@ class PageCache:
         if event is not None and not event.triggered:
             event.succeed()
 
+    def abandon_all_pending(self) -> int:
+        """Fire-and-forget every pending read (host crash teardown).
+
+        Waiters wake, re-check residency and reissue their reads, so
+        nobody sleeps forever on a read whose owner was interrupted.
+        Returns the number of abandoned entries.
+        """
+        count = len(self._pending)
+        if count:
+            pending, self._pending = self._pending, {}
+            for event in pending.values():
+                if not event.triggered:
+                    event.succeed()
+        return count
+
     def drop_file(self, file_name: str) -> int:
         """Evict every resident page of ``file_name`` (drop_caches for
         one file, as the paper does between test runs, §6.1).

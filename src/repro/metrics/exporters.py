@@ -167,6 +167,37 @@ def merge_shard_snapshots(
     return merged
 
 
+#: Version tag for the serving-report document.
+REPORT_SCHEMA = "repro.fleet-report/1"
+
+
+def fleet_report_doc(report) -> Dict[str, Any]:
+    """JSON document for a :class:`~repro.fleet.scheduler.FleetReport`
+    (or :class:`~repro.cluster.scheduler.ClusterReport`): every served
+    invocation with its :class:`InvocationOutcome` and attempt count,
+    plus the availability/amplification summary. Deterministic for a
+    given run — no wall-clock anywhere."""
+    doc: Dict[str, Any] = {
+        "schema": REPORT_SCHEMA,
+        "invocations": [s.to_dict() for s in report.served],
+        "outcome_counts": report.outcome_counts(),
+        "availability": report.availability(),
+        "total_attempts": report.total_attempts(),
+        "retry_amplification": report.retry_amplification(),
+        "mean_latency_us": report.mean_latency_us(),
+        "p99_latency_us": report.latency_percentile(99),
+    }
+    host_stats = getattr(report, "host_stats", None)
+    if host_stats:
+        doc["host_failures"] = {
+            host: stats.failures for host, stats in sorted(host_stats.items())
+        }
+        doc["host_shed"] = {
+            host: stats.shed for host, stats in sorted(host_stats.items())
+        }
+    return doc
+
+
 # -- Chrome trace_event ------------------------------------------------
 
 

@@ -14,10 +14,12 @@ hand-computed.
 """
 
 from repro.sim.engine import (
+    AllFailed,
     AllOf,
     AnyOf,
     Environment,
     Event,
+    FirstSuccess,
     Interrupt,
     Process,
     SimulationError,
@@ -26,10 +28,12 @@ from repro.sim.engine import (
 from repro.sim.resources import Resource, ResourceRequest, Store
 
 __all__ = [
+    "AllFailed",
     "AllOf",
     "AnyOf",
     "Environment",
     "Event",
+    "FirstSuccess",
     "Interrupt",
     "Process",
     "Resource",

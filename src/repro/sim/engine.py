@@ -14,6 +14,7 @@ simulation run is a pure function of its inputs.
 from __future__ import annotations
 
 import heapq
+import random
 from sys import getrefcount
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
@@ -290,6 +291,66 @@ class AllOf(Event):
             self.succeed([c.value for c in self._children])
 
 
+class AllFailed(SimulationError):
+    """Every child of a :class:`FirstSuccess` race failed.
+
+    ``causes`` lists the children's exceptions in child order.
+    """
+
+    def __init__(self, causes: List[BaseException]):
+        super().__init__(f"all {len(causes)} raced events failed")
+        self.causes = causes
+
+
+class FirstSuccess(Event):
+    """Fires with ``(index, value)`` of the first child to *succeed*.
+
+    Unlike :class:`AnyOf`, a failing child does not decide the race:
+    its exception is recorded and the race keeps waiting on the
+    others. Only when every child has failed does this event fail,
+    with an :class:`AllFailed` carrying all the causes. This is the
+    primitive behind request hedging, where a crashed primary attempt
+    must not abort the race while its hedge is still running.
+
+    The race deliberately keeps watching the losing children after it
+    fires: their late failures then always have at least one
+    subscriber, so the dispatcher never re-raises a cancelled loser's
+    exception as unhandled.
+    """
+
+    __slots__ = ("_children", "_pending", "_causes")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._children = list(events)
+        if not self._children:
+            raise SimulationError("FirstSuccess requires at least one event")
+        self._pending = len(self._children)
+        self._causes: List[Optional[BaseException]] = [None] * len(
+            self._children
+        )
+        for index, child in enumerate(self._children):
+            if child.processed:
+                self._on_child(index, child)
+                if self._triggered and self._ok:
+                    break
+            else:
+                child.callbacks.append(
+                    lambda evt, index=index: self._on_child(index, evt)
+                )
+
+    def _on_child(self, index: int, child: Event) -> None:
+        if self._triggered:
+            return
+        if child.ok:
+            self.succeed((index, child.value))
+            return
+        self._causes[index] = child.value
+        self._pending -= 1
+        if self._pending == 0:
+            self.fail(AllFailed([c for c in self._causes if c is not None]))
+
+
 class AnyOf(Event):
     """Fires when the first child event fires; value is ``(index, value)``."""
 
@@ -332,10 +393,17 @@ class AnyOf(Event):
 class Environment:
     """Owns the simulated clock and the pending-event heap."""
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0, seed: int = 0):
         self._now = float(initial_time)
         self._queue: List[Tuple[float, int, Event]] = []
         self._sequence = 0
+        #: The run seed, and the run's single source of randomness.
+        #: Every stochastic consumer (fault schedules, backoff jitter,
+        #: injected device errors) draws from this one stream, so a
+        #: whole simulation is reproducible from ``seed`` alone.
+        #: Deterministic runs simply never touch it.
+        self.seed = seed
+        self.rng = random.Random(f"env|{seed}")
         #: Events dispatched by :meth:`step` over the environment's
         #: lifetime (the perf harness derives events/sec from this).
         self.events_processed = 0
@@ -433,6 +501,11 @@ class Environment:
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         """Event that fires when the first event in ``events`` fires."""
         return AnyOf(self, events)
+
+    def first_success(self, events: Iterable[Event]) -> FirstSuccess:
+        """Event that fires when the first event in ``events``
+        *succeeds* (failures are tolerated until all have failed)."""
+        return FirstSuccess(self, events)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``float('inf')``."""

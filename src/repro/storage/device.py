@@ -21,8 +21,9 @@ loader reads) emerges from the slot/channel resources.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Generator, Optional
+from typing import Any, Generator, List, Optional
 
+from repro.faults.errors import DeviceError
 from repro.sim import Environment, Event, Resource, SimulationError
 
 
@@ -58,6 +59,44 @@ class DeviceSpec:
         return 1e6 / self.iops
 
 
+@dataclass(frozen=True)
+class Degradation:
+    """A multiplicative performance penalty applied to a device.
+
+    Pushed and popped by the fault injector for the duration of a
+    fault window. ``latency_factor`` scales per-request access
+    latency, ``bandwidth_factor`` scales transfer bandwidth (0.1 = a
+    10x throughput collapse), ``iops_factor`` scales the IOPS cap
+    (0.5 = the per-request interval floor doubles), and ``error_rate``
+    is the probability a serviced request fails with
+    :class:`~repro.faults.errors.DeviceError` (drawn from the
+    environment's seeded ``rng``).
+    """
+
+    latency_factor: float = 1.0
+    bandwidth_factor: float = 1.0
+    iops_factor: float = 1.0
+    error_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.latency_factor <= 0 or self.bandwidth_factor <= 0:
+            raise ValueError("degradation factors must be positive")
+        if self.iops_factor <= 0:
+            raise ValueError("iops_factor must be positive")
+        if not 0.0 <= self.error_rate <= 1.0:
+            raise ValueError("error_rate must be in [0, 1]")
+
+    def combine(self, other: "Degradation") -> "Degradation":
+        """Stack two overlapping windows: factors multiply, error
+        rates combine as independent failure probabilities."""
+        return Degradation(
+            latency_factor=self.latency_factor * other.latency_factor,
+            bandwidth_factor=self.bandwidth_factor * other.bandwidth_factor,
+            iops_factor=self.iops_factor * other.iops_factor,
+            error_rate=1.0 - (1.0 - self.error_rate) * (1.0 - other.error_rate),
+        )
+
+
 @dataclass
 class DeviceStats:
     """Mutable counters accumulated over a simulation run."""
@@ -68,6 +107,8 @@ class DeviceStats:
     busy_time_us: float = 0.0
     #: Total time requests spent waiting for a queue slot.
     queue_wait_us: float = 0.0
+    #: Requests that failed with an injected I/O error.
+    errors: int = 0
     per_request_sizes: list = field(default_factory=list)
 
     @property
@@ -90,6 +131,11 @@ class BlockDevice:
         self._slots = Resource(env, capacity=spec.queue_depth)
         self._channel = Resource(env, capacity=1)
         self._next_sequential_offset: Optional[int] = None
+        #: Active degradation windows (fault injection); ``degradation``
+        #: is their combined view, ``None`` on the healthy hot path so
+        #: an undegraded read costs one attribute check.
+        self._degradations: List[Degradation] = []
+        self.degradation: Optional[Degradation] = None
         self._register_metrics(metrics_prefix)
 
     def _register_metrics(self, metrics_prefix: Optional[str]) -> None:
@@ -124,6 +170,13 @@ class BlockDevice:
         registry.pull_counter(
             f"{prefix}.queue_wait_us", lambda: self.stats.queue_wait_us
         )
+        registry.pull_counter(
+            f"{prefix}.errors", lambda: self.stats.errors
+        )
+        registry.gauge(
+            f"{prefix}.degraded",
+            lambda: 1 if self.degradation is not None else 0,
+        )
         registry.gauge(
             f"{prefix}.queue_depth", lambda: self._slots.in_use
         )
@@ -157,10 +210,15 @@ class BlockDevice:
             raise SimulationError(f"read at negative offset {offset}")
         start = self.env.now
 
+        # The slot yield sits *inside* the try so that a process
+        # interrupted while queueing (host crash, hedge cancellation)
+        # releases its place in line: ``Resource.release`` of an
+        # ungranted request removes it from the wait queue, and of a
+        # granted one returns the slot.
         slot = self._slots.request()
-        yield slot
-        self.stats.queue_wait_us += self.env.now - start
         try:
+            yield slot
+            self.stats.queue_wait_us += self.env.now - start
             # Sequentiality is decided at issue time against the tail
             # of the previous issued request, like an on-device
             # readahead detector.
@@ -172,13 +230,36 @@ class BlockDevice:
                 if sequential
                 else self.spec.random_latency_us
             )
-            latency = max(latency, self.spec.min_request_interval_us)
+            degradation = self.degradation
+            if degradation is None:
+                latency = max(latency, self.spec.min_request_interval_us)
+                bandwidth = self.spec.bandwidth_bytes_per_us
+            else:
+                latency = max(
+                    latency * degradation.latency_factor,
+                    self.spec.min_request_interval_us
+                    / degradation.iops_factor,
+                )
+                bandwidth = (
+                    self.spec.bandwidth_bytes_per_us
+                    * degradation.bandwidth_factor
+                )
             yield self.env.timeout(latency)
 
+            if (
+                degradation is not None
+                and degradation.error_rate > 0.0
+                and self.env.rng.random() < degradation.error_rate
+            ):
+                # The access failed after seeking: the request burned
+                # its slot time but transfers nothing.
+                self.stats.errors += 1
+                raise DeviceError(self.spec.name, offset, nbytes)
+
             channel = self._channel.request()
-            yield channel
             try:
-                transfer = nbytes / self.spec.bandwidth_bytes_per_us
+                yield channel
+                transfer = nbytes / bandwidth
                 yield self.env.timeout(transfer)
             finally:
                 self._channel.release(channel)
@@ -200,11 +281,34 @@ class BlockDevice:
         slot and the bandwidth channel without waiting. The fault
         fast path uses this (together with an event-heap check) to
         decide whether a read's service time is computable
-        synchronously."""
+        synchronously. A degraded device always says no: the batching
+        fast path replicates the *healthy* read arithmetic, so fault
+        windows must take the event path (which is where degradation
+        factors and error injection live)."""
         return (
-            self._slots.in_use < self._slots.capacity
+            self.degradation is None
+            and self._slots.in_use < self._slots.capacity
             and self._channel.in_use == 0
         )
+
+    def push_degradation(self, degradation: Degradation) -> None:
+        """Apply a degradation window (fault injector entry point)."""
+        self._degradations.append(degradation)
+        self._recombine()
+
+    def pop_degradation(self, degradation: Degradation) -> None:
+        """Revoke a previously pushed degradation window."""
+        self._degradations.remove(degradation)
+        self._recombine()
+
+    def _recombine(self) -> None:
+        combined: Optional[Degradation] = None
+        for degradation in self._degradations:
+            combined = (
+                degradation if combined is None
+                else combined.combine(degradation)
+            )
+        self.degradation = combined
 
     def reset_stats(self) -> None:
         """Zero the counters (e.g. between record and test phases)."""

@@ -212,9 +212,12 @@ class VCpu:
         if self.cpu is None:
             yield self.env.timeout(think_us)
             return
+        # Yield inside the try: an interrupt while queueing for the
+        # slot must withdraw the request (release handles both the
+        # granted and still-waiting cases).
         request = self.cpu.request()
-        yield request
         try:
+            yield request
             yield self.env.timeout(think_us)
         finally:
             self.cpu.release(request)

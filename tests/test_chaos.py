@@ -1,0 +1,170 @@
+"""Tests for the chaos scenarios, the drill report, and the CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.faults import DISABLED_RECOVERY, FaultPlan
+from repro.faults.chaos import (
+    SCENARIO_NAMES,
+    SCENARIOS,
+    run_chaos,
+    scenario_fleet,
+    scenario_trace,
+)
+
+DURATION_US = 15_000_000.0
+
+
+# -- scenario builders -------------------------------------------------
+
+
+def test_scenario_registry_is_complete():
+    assert set(SCENARIO_NAMES) == {
+        "host-crash-storm",
+        "slow-device-brownout",
+        "corrupted-snapshot-epidemic",
+        "ebs-latency-spike",
+    }
+    for name, spec in SCENARIOS.items():
+        assert spec.name == name
+        assert spec.description
+
+
+@pytest.mark.parametrize("name", SCENARIO_NAMES)
+def test_plans_are_deterministic_per_seed(name):
+    spec = SCENARIOS[name]
+    first = spec.build_plan(4, 7, DURATION_US)
+    again = spec.build_plan(4, 7, DURATION_US)
+    other_seed = spec.build_plan(4, 8, DURATION_US)
+    assert not first.is_empty
+    assert first == again
+    # A different seed draws a different schedule (times differ even
+    # when the fault set happens to coincide).
+    assert first.as_dict() != other_seed.as_dict()
+
+
+@pytest.mark.parametrize("name", SCENARIO_NAMES)
+def test_plans_round_trip_through_json(name):
+    plan = SCENARIOS[name].build_plan(6, 3, DURATION_US)
+    doc = json.loads(json.dumps(plan.as_dict()))
+    assert FaultPlan.from_dict(doc) == plan
+
+
+def test_scenario_trace_and_fleet_shapes():
+    trace = scenario_trace(10, 250_000.0)
+    assert len(trace) == 10
+    assert trace.arrivals[0].function == "f0"
+    assert trace.arrivals[1].function == "f1"
+    fleet = scenario_fleet()
+    assert [f.name for f in fleet] == ["f0", "f1"]
+
+
+def test_unknown_scenario_raises():
+    with pytest.raises(ValueError, match="unknown chaos scenario"):
+        run_chaos("meteor-strike")
+
+
+# -- drills ------------------------------------------------------------
+
+
+def test_chaos_report_is_deterministic():
+    """The acceptance criterion: same seed + plan => byte-identical
+    report JSON."""
+    first = run_chaos("host-crash-storm", seed=2, arrivals=16)
+    again = run_chaos("host-crash-storm", seed=2, arrivals=16)
+    assert json.dumps(first.as_dict(), sort_keys=True) == json.dumps(
+        again.as_dict(), sort_keys=True
+    )
+
+
+def test_storm_recovery_keeps_availability_above_99_percent():
+    """The acceptance criterion: the self-healing control plane rides
+    out the host-crash storm at >= 99% availability, while the same
+    storm with recovery disabled measurably fails arrivals."""
+    protected = run_chaos("host-crash-storm", seed=1, arrivals=60)
+    assert protected.recovery_enabled
+    assert protected.availability >= 0.99
+    assert protected.fault_summary["host_crashes"] >= 1
+    assert protected.outcome_counts["retried"] >= 1
+
+    unprotected = run_chaos(
+        "host-crash-storm", seed=1, arrivals=60, recovery=DISABLED_RECOVERY
+    )
+    assert not unprotected.recovery_enabled
+    assert unprotected.availability < protected.availability
+    assert unprotected.outcome_counts["failed"] >= 1
+
+
+def test_ebs_spike_raises_tail_latency_but_not_failures():
+    report = run_chaos("ebs-latency-spike", seed=1, arrivals=16)
+    assert report.availability == 1.0
+    assert report.fault_summary["device_windows_opened"] == 1
+    assert report.p999_us > report.baseline_p999_us
+
+
+def test_report_render_mentions_the_drill():
+    report = run_chaos("host-crash-storm", seed=1, arrivals=12)
+    text = report.render()
+    assert "host-crash-storm" in text
+    assert "availability" in text
+    assert "recovery on" in text
+
+
+# -- CLI ---------------------------------------------------------------
+
+
+def test_cli_chaos_single_scenario_with_report(tmp_path, capsys):
+    out_path = tmp_path / "report.json"
+    code = main(
+        [
+            "chaos",
+            "--scenario",
+            "host-crash-storm",
+            "--arrivals",
+            "16",
+            "--seed",
+            "2",
+            "--min-availability",
+            "0.99",
+            "--report-out",
+            str(out_path),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Chaos drill: host-crash-storm" in out
+    doc = json.loads(out_path.read_text())
+    assert doc["scenario"] == "host-crash-storm"
+    assert doc["availability"] >= 0.99
+    assert doc["recovery_enabled"] is True
+    assert set(doc["outcome_counts"]) == {
+        "ok", "retried", "hedge-won", "shed", "failed",
+    }
+    assert doc["plan"]["host_crashes"]
+
+
+def test_cli_chaos_min_availability_gate_fails(capsys):
+    code = main(
+        [
+            "chaos",
+            "--scenario",
+            "host-crash-storm",
+            "--arrivals",
+            "30",
+            "--seed",
+            "1",
+            "--no-recovery",
+            "--min-availability",
+            "0.99",
+        ]
+    )
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "below required" in err
+
+
+def test_cli_chaos_rejects_unknown_scenario():
+    with pytest.raises(SystemExit):
+        main(["chaos", "--scenario", "meteor-strike"])

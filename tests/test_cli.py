@@ -189,3 +189,34 @@ def test_experiment_metrics_out_merges_shards(tmp_path, capsys):
     assert doc["shards"] >= 1
     assert doc["virtual_time_us"] > 0
     assert "gauges" not in doc
+
+
+def test_cluster_report_out_writes_serving_report(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "report.json"
+    code = main(
+        [
+            "cluster",
+            "--functions",
+            "2",
+            "--hours",
+            "0.5",
+            "--hosts",
+            "2",
+            "--seed",
+            "0",
+            "--report-out",
+            str(path),
+        ]
+    )
+    assert code == 0
+    capsys.readouterr()
+    doc = json.loads(path.read_text())
+    assert doc["schema"] == "repro.fleet-report/1"
+    assert doc["availability"] == 1.0
+    assert doc["invocations"]
+    assert all(
+        entry["outcome"] == "ok" for entry in doc["invocations"]
+    )
+    assert set(doc["host_failures"]) == {"host0", "host1"}

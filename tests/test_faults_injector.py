@@ -1,0 +1,313 @@
+"""Unit tests for the fault injector and the health monitor."""
+
+import pytest
+
+from repro.faults import (
+    SCOPE_ALL,
+    DeviceFault,
+    FaultInjector,
+    FaultPlan,
+    HealthMonitor,
+    HealthPolicy,
+    HostCrash,
+    SnapshotCorruption,
+)
+from repro.sim import Environment
+from repro.storage.device import BlockDevice, DeviceSpec
+
+SPEC = DeviceSpec(
+    name="test-nvme",
+    random_latency_us=80.0,
+    sequential_latency_us=20.0,
+    bandwidth_bytes_per_us=2_000.0,
+    iops=400_000.0,
+)
+
+
+class FakeTarget:
+    """Duck-typed injector target recording every call."""
+
+    def __init__(self, env, devices=()):
+        self.env = env
+        self.devices = list(devices)
+        self.crashes = []
+        self.reboots = []
+
+    def devices_for_scope(self, scope):
+        return self.devices
+
+    def crash_host(self, host_id):
+        self.crashes.append((self.env.now, host_id))
+
+    def reboot_host(self, host_id):
+        self.reboots.append((self.env.now, host_id))
+
+
+def run_plan(plan, devices_factory=None):
+    env = Environment(seed=3)
+    devices = devices_factory(env) if devices_factory else []
+    target = FakeTarget(env, devices)
+    injector = FaultInjector(env, plan)
+    injector.arm(target)
+    env.run()
+    return env, target, injector
+
+
+# -- arming ------------------------------------------------------------
+
+
+def test_empty_plan_spawns_nothing():
+    env = Environment(seed=1)
+    injector = FaultInjector(env)
+    injector.arm(FakeTarget(env))
+    assert not env._queue
+    env.run()
+    assert env.now == 0.0
+    assert injector.summary() == {
+        "device_windows_opened": 0,
+        "device_windows_closed": 0,
+        "host_crashes": 0,
+        "host_reboots": 0,
+        "corruptions_marked": 0,
+        "corruptions_detected": 0,
+    }
+
+
+def test_double_arm_raises():
+    env = Environment(seed=1)
+    injector = FaultInjector(env)
+    injector.arm(FakeTarget(env))
+    with pytest.raises(RuntimeError):
+        injector.arm(FakeTarget(env))
+
+
+# -- device windows ----------------------------------------------------
+
+
+def test_device_window_opens_and_closes():
+    plan = FaultPlan(
+        device_faults=[
+            DeviceFault(
+                scope=SCOPE_ALL,
+                start_us=100.0,
+                duration_us=50.0,
+                latency_factor=4.0,
+            )
+        ]
+    )
+    seen = []
+    env = Environment(seed=3)
+    device = BlockDevice(env, SPEC)
+    target = FakeTarget(env, [device])
+    injector = FaultInjector(env, plan)
+    injector.arm(target)
+
+    def probe():
+        yield env.timeout(120.0)  # inside the window
+        seen.append(device.degradation)
+        yield env.timeout(100.0)  # after it closes
+        seen.append(device.degradation)
+
+    env.process(probe())
+    env.run()
+    inside, after = seen
+    assert inside is not None and inside.latency_factor == 4.0
+    assert after is None
+    assert injector.device_windows_opened == 1
+    assert injector.device_windows_closed == 1
+
+
+def test_permanent_device_window_never_closes():
+    plan = FaultPlan(
+        device_faults=[
+            DeviceFault(scope=SCOPE_ALL, start_us=10.0, latency_factor=2.0)
+        ]
+    )
+    env, target, injector = run_plan(
+        plan, lambda env: [BlockDevice(env, SPEC)]
+    )
+    assert target.devices[0].degradation is not None
+    assert injector.device_windows_opened == 1
+    assert injector.device_windows_closed == 0
+
+
+def test_overlapping_windows_combine_and_unwind():
+    env = Environment(seed=3)
+    device = BlockDevice(env, SPEC)
+    plan = FaultPlan(
+        device_faults=[
+            DeviceFault(
+                scope=SCOPE_ALL, start_us=0.0, duration_us=100.0,
+                latency_factor=2.0,
+            ),
+            DeviceFault(
+                scope=SCOPE_ALL, start_us=50.0, duration_us=100.0,
+                latency_factor=3.0,
+            ),
+        ]
+    )
+    target = FakeTarget(env, [device])
+    FaultInjector(env, plan).arm(target)
+    seen = {}
+
+    def probe():
+        yield env.timeout(75.0)
+        seen["both"] = device.degradation.latency_factor
+        yield env.timeout(50.0)  # first closed, second still open
+        seen["second"] = device.degradation.latency_factor
+
+    env.process(probe())
+    env.run()
+    assert seen["both"] == 6.0  # factors multiply while overlapping
+    assert seen["second"] == 3.0
+    assert device.degradation is None  # both unwound at the end
+
+
+# -- host crashes ------------------------------------------------------
+
+
+def test_crash_and_reboot_fire_at_planned_times():
+    plan = FaultPlan(
+        host_crashes=[
+            HostCrash(host="host1", at_us=500.0, reboot_after_us=250.0),
+            HostCrash(host="host2", at_us=600.0),
+        ]
+    )
+    env, target, injector = run_plan(plan)
+    assert target.crashes == [(500.0, "host1"), (600.0, "host2")]
+    assert target.reboots == [(750.0, "host1")]
+    assert injector.host_crashes == 2
+    assert injector.host_reboots == 1
+
+
+def test_epoch_offsets_fault_times():
+    env = Environment(seed=3)
+    target = FakeTarget(env)
+    plan = FaultPlan(host_crashes=[HostCrash(host="h", at_us=100.0)])
+    FaultInjector(env, plan).arm(target, epoch_us=1_000.0)
+    env.run()
+    assert target.crashes == [(1_100.0, "h")]
+
+
+# -- snapshot corruption -----------------------------------------------
+
+
+def test_corruption_is_latent_and_detection_clears():
+    plan = FaultPlan(
+        corruptions=[
+            SnapshotCorruption(host="host0", function="f", at_us=50.0)
+        ]
+    )
+    env, target, injector = run_plan(plan)
+    assert injector.corruptions_marked == 1
+    # Other hosts/functions unaffected.
+    assert not injector.check_snapshot("host1", "f")
+    assert not injector.check_snapshot("host0", "g")
+    # First validation detects; the mark clears so the retry succeeds.
+    assert injector.check_snapshot("host0", "f")
+    assert not injector.check_snapshot("host0", "f")
+    assert injector.corruptions_detected == 1
+
+
+# -- HealthMonitor -----------------------------------------------------
+
+
+class FakeHost:
+    def __init__(self, host_id):
+        self.host_id = host_id
+        self.crashed = False
+
+
+class FakeState:
+    def __init__(self, host_id):
+        self.host = FakeHost(host_id)
+        self.healthy = True
+        self.error_times = []
+        self.last_bad_us = 0.0
+
+
+POLICY = HealthPolicy(
+    enabled=True,
+    check_interval_us=100.0,
+    error_threshold=3,
+    window_us=1_000.0,
+    reintegrate_after_us=500.0,
+)
+
+
+def test_note_failure_drains_at_threshold():
+    env = Environment(seed=1)
+    state = FakeState("h0")
+    monitor = HealthMonitor(env, POLICY, [state])
+    monitor.note_failure(state)
+    monitor.note_failure(state)
+    assert state.healthy
+    monitor.note_failure(state)
+    assert not state.healthy
+    assert monitor.drains == 1
+
+
+def test_crashed_host_drains_on_sweep():
+    env = Environment(seed=1)
+    state = FakeState("h0")
+    monitor = HealthMonitor(env, POLICY, [state])
+    state.host.crashed = True
+    monitor.check_now()
+    assert not state.healthy
+
+
+def test_reintegration_requires_quiet_period():
+    env = Environment(seed=1)
+    state = FakeState("h0")
+    monitor = HealthMonitor(env, POLICY, [state])
+    for _ in range(3):
+        monitor.note_failure(state)
+    assert not state.healthy
+    monitor.start()
+    env.run(until=2_000.0)
+    monitor.stop()
+    env.run()
+    # Errors aged out of the window and the quiet period elapsed.
+    assert state.healthy
+    assert monitor.reintegrations == 1
+
+
+def test_old_errors_age_out_of_window():
+    env = Environment(seed=1)
+    state = FakeState("h0")
+    monitor = HealthMonitor(env, POLICY, [state])
+    state.error_times = [0.0, 1.0]
+
+    def late_failure():
+        yield env.timeout(5_000.0)
+        monitor.note_failure(state)
+
+    env.process(late_failure())
+    env.run()
+    # The two ancient errors dropped; one recent failure is below the
+    # threshold of three.
+    assert state.healthy
+    assert state.error_times == [5_000.0]
+
+
+def test_monitor_callbacks_and_double_start():
+    env = Environment(seed=1)
+    state = FakeState("h0")
+    drained, restored = [], []
+    monitor = HealthMonitor(
+        env,
+        POLICY,
+        [state],
+        on_drain=lambda s: drained.append(s.host.host_id),
+        on_reintegrate=lambda s: restored.append(s.host.host_id),
+    )
+    monitor.start()
+    with pytest.raises(RuntimeError):
+        monitor.start()
+    for _ in range(3):
+        monitor.note_failure(state)
+    assert drained == ["h0"]
+    env.run(until=2_000.0)
+    monitor.stop()
+    env.run()
+    assert restored == ["h0"]

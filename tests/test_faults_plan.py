@@ -1,0 +1,145 @@
+"""Tests for the declarative fault-plan data model."""
+
+import json
+
+import pytest
+
+from repro.faults import (
+    SCOPE_ALL,
+    SCOPE_SHARED,
+    DeviceFault,
+    FaultPlan,
+    HostCrash,
+    SnapshotCorruption,
+)
+
+
+def full_plan():
+    return FaultPlan(
+        device_faults=[
+            DeviceFault(
+                scope=SCOPE_ALL,
+                start_us=1_000.0,
+                duration_us=5_000.0,
+                latency_factor=4.0,
+                bandwidth_factor=0.5,
+                iops_factor=0.25,
+                error_rate=0.01,
+            ),
+            DeviceFault(scope=SCOPE_SHARED, start_us=0.0),
+            DeviceFault(scope="host2", start_us=9.0, latency_factor=2.0),
+        ],
+        host_crashes=[
+            HostCrash(host="host0", at_us=2_000.0, reboot_after_us=500.0),
+            HostCrash(host="host1", at_us=3_000.0),
+        ],
+        corruptions=[
+            SnapshotCorruption(host="host0", function="f0", at_us=100.0),
+        ],
+    )
+
+
+# -- construction and validation --------------------------------------
+
+
+def test_empty_plan_is_empty_and_lengthless():
+    plan = FaultPlan.empty()
+    assert plan.is_empty
+    assert len(plan) == 0
+    assert plan.device_faults == ()
+    assert plan.host_crashes == ()
+    assert plan.corruptions == ()
+
+
+def test_plan_stores_tuples_and_counts_faults():
+    plan = full_plan()
+    assert not plan.is_empty
+    assert len(plan) == 6
+    assert isinstance(plan.device_faults, tuple)
+    assert isinstance(plan.host_crashes, tuple)
+    assert isinstance(plan.corruptions, tuple)
+
+
+def test_single_fault_makes_plan_non_empty():
+    crash_only = FaultPlan(host_crashes=[HostCrash(host="h", at_us=0.0)])
+    assert not crash_only.is_empty
+    assert len(crash_only) == 1
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(scope="h", start_us=-1.0),
+        dict(scope="h", start_us=0.0, duration_us=0.0),
+        dict(scope="h", start_us=0.0, duration_us=-5.0),
+        dict(scope="h", start_us=0.0, latency_factor=0.0),
+        dict(scope="h", start_us=0.0, bandwidth_factor=-1.0),
+        dict(scope="h", start_us=0.0, iops_factor=0.0),
+        dict(scope="h", start_us=0.0, error_rate=1.5),
+        dict(scope="h", start_us=0.0, error_rate=-0.1),
+    ],
+)
+def test_device_fault_validation(kwargs):
+    with pytest.raises(ValueError):
+        DeviceFault(**kwargs)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(host="h", at_us=-1.0),
+        dict(host="h", at_us=0.0, reboot_after_us=0.0),
+        dict(host="h", at_us=0.0, reboot_after_us=-1.0),
+    ],
+)
+def test_host_crash_validation(kwargs):
+    with pytest.raises(ValueError):
+        HostCrash(**kwargs)
+
+
+def test_corruption_validation():
+    with pytest.raises(ValueError):
+        SnapshotCorruption(host="h", function="f", at_us=-0.5)
+
+
+def test_faults_are_immutable():
+    fault = DeviceFault(scope="h", start_us=0.0)
+    with pytest.raises(Exception):
+        fault.start_us = 5.0  # type: ignore[misc]
+
+
+# -- serialisation -----------------------------------------------------
+
+
+def test_as_dict_round_trips_through_json():
+    plan = full_plan()
+    doc = json.loads(json.dumps(plan.as_dict()))
+    assert FaultPlan.from_dict(doc) == plan
+
+
+def test_empty_plan_round_trips():
+    doc = FaultPlan.empty().as_dict()
+    assert doc == {
+        "device_faults": [],
+        "host_crashes": [],
+        "corruptions": [],
+    }
+    restored = FaultPlan.from_dict(doc)
+    assert restored.is_empty
+    assert restored == FaultPlan.empty()
+
+
+def test_from_dict_tolerates_missing_sections():
+    plan = FaultPlan.from_dict({})
+    assert plan.is_empty
+    partial = FaultPlan.from_dict(
+        {"host_crashes": [{"host": "h3", "at_us": 7.0}]}
+    )
+    assert partial.host_crashes == (HostCrash(host="h3", at_us=7.0),)
+    assert partial.device_faults == ()
+
+
+def test_as_dict_is_deterministic():
+    a = json.dumps(full_plan().as_dict(), sort_keys=True)
+    b = json.dumps(full_plan().as_dict(), sort_keys=True)
+    assert a == b

@@ -1,0 +1,211 @@
+"""Unit tests for recovery policies, the retry budget, and hedging."""
+
+import random
+
+import pytest
+
+from repro.core.policies import Policy
+from repro.faults import (
+    DISABLED_RECOVERY,
+    HealthPolicy,
+    HedgePolicy,
+    HedgeTracker,
+    RecoveryPolicy,
+    RetryBudget,
+    RetryPolicy,
+    SheddingPolicy,
+)
+
+
+# -- RetryPolicy -------------------------------------------------------
+
+
+def test_backoff_grows_exponentially_without_jitter():
+    policy = RetryPolicy(
+        enabled=True,
+        base_backoff_us=10.0,
+        multiplier=2.0,
+        max_backoff_us=1_000.0,
+        jitter=0.0,
+    )
+    rng = random.Random(0)
+    assert policy.backoff_us(1, rng) == 10.0
+    assert policy.backoff_us(2, rng) == 20.0
+    assert policy.backoff_us(3, rng) == 40.0
+
+
+def test_backoff_clamps_at_max():
+    policy = RetryPolicy(
+        base_backoff_us=100.0, multiplier=10.0, max_backoff_us=250.0,
+        jitter=0.0,
+    )
+    rng = random.Random(0)
+    assert policy.backoff_us(5, rng) == 250.0
+
+
+def test_backoff_jitter_only_shrinks():
+    policy = RetryPolicy(
+        base_backoff_us=100.0, multiplier=1.0, max_backoff_us=100.0,
+        jitter=0.5,
+    )
+    rng = random.Random(42)
+    values = [policy.backoff_us(1, rng) for _ in range(50)]
+    assert all(50.0 <= v <= 100.0 for v in values)
+    assert len(set(values)) > 1  # actually randomised
+
+
+def test_backoff_attempts_are_one_based():
+    policy = RetryPolicy()
+    with pytest.raises(ValueError):
+        policy.backoff_us(0, random.Random(0))
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(max_attempts=0),
+        dict(base_backoff_us=-1.0),
+        dict(multiplier=0.5),
+        dict(jitter=1.5),
+    ],
+)
+def test_retry_policy_validation(kwargs):
+    with pytest.raises(ValueError):
+        RetryPolicy(**kwargs)
+
+
+# -- RetryBudget -------------------------------------------------------
+
+
+def test_budget_starts_at_min_and_earns_per_arrival():
+    budget = RetryBudget(min_budget=2.0, ratio=0.5)
+    assert budget.tokens == 2.0
+    budget.on_arrival()
+    budget.on_arrival()
+    assert budget.tokens == 3.0
+    assert budget.arrivals == 2
+
+
+def test_budget_spend_and_deny():
+    budget = RetryBudget(min_budget=1.0, ratio=0.0)
+    assert budget.try_spend()
+    assert budget.spent == 1
+    assert not budget.try_spend()
+    assert budget.denied == 1
+    assert budget.tokens == 0.0
+
+
+def test_budget_fractional_tokens_do_not_spend():
+    budget = RetryBudget(min_budget=0.0, ratio=0.3)
+    budget.on_arrival()
+    budget.on_arrival()
+    assert not budget.try_spend()  # 0.6 tokens < 1
+    budget.on_arrival()
+    budget.on_arrival()
+    assert budget.try_spend()  # 1.2 tokens
+
+
+def test_budget_validation():
+    with pytest.raises(ValueError):
+        RetryBudget(min_budget=-1.0)
+    with pytest.raises(ValueError):
+        RetryBudget(ratio=-0.1)
+
+
+# -- HedgeTracker ------------------------------------------------------
+
+
+def test_hedge_threshold_none_below_min_samples():
+    tracker = HedgeTracker(HedgePolicy(enabled=True, min_samples=5))
+    for latency in (10.0, 20.0, 30.0, 40.0):
+        tracker.record(latency)
+    assert tracker.threshold_us() is None
+    tracker.record(50.0)
+    assert tracker.threshold_us() is not None
+
+
+def test_hedge_threshold_percentile_and_floor():
+    policy = HedgePolicy(
+        enabled=True, percentile=50.0, min_samples=4, floor_us=0.0,
+        multiplier=1.0,
+    )
+    tracker = HedgeTracker(policy)
+    for latency in (10.0, 20.0, 30.0, 40.0):
+        tracker.record(latency)
+    # Nearest-rank p50 of 4 samples is the 2nd smallest.
+    assert tracker.threshold_us() == 20.0
+    floored = HedgeTracker(
+        HedgePolicy(
+            enabled=True, percentile=50.0, min_samples=4, floor_us=500.0
+        )
+    )
+    for latency in (10.0, 20.0, 30.0, 40.0):
+        floored.record(latency)
+    assert floored.threshold_us() == 500.0
+
+
+def test_hedge_tracker_window_is_bounded():
+    tracker = HedgeTracker(HedgePolicy(enabled=True, min_samples=1), window=8)
+    for i in range(100):
+        tracker.record(float(i))
+    assert tracker.samples == 8
+
+
+def test_hedge_policy_validation():
+    with pytest.raises(ValueError):
+        HedgePolicy(percentile=0.0)
+    with pytest.raises(ValueError):
+        HedgePolicy(min_samples=0)
+    with pytest.raises(ValueError):
+        HedgePolicy(multiplier=0.0)
+
+
+# -- Health / shedding / top-level policy ------------------------------
+
+
+def test_health_policy_validation():
+    with pytest.raises(ValueError):
+        HealthPolicy(check_interval_us=0.0)
+    with pytest.raises(ValueError):
+        HealthPolicy(error_threshold=0)
+    with pytest.raises(ValueError):
+        HealthPolicy(window_us=-1.0)
+
+
+def test_shedding_policy_validation_and_enabled():
+    assert not SheddingPolicy().enabled
+    assert SheddingPolicy(max_queue_depth=8).enabled
+    assert SheddingPolicy(degraded_queue_depth=4).enabled
+    with pytest.raises(ValueError):
+        SheddingPolicy(max_queue_depth=0)
+    with pytest.raises(ValueError):
+        SheddingPolicy(max_queue_depth=4, degraded_queue_depth=8)
+    assert SheddingPolicy().degraded_policy is Policy.FIRECRACKER
+
+
+def test_disabled_recovery_has_no_armed_features():
+    assert DISABLED_RECOVERY.armed_features == ()
+
+
+def test_full_recovery_arms_everything():
+    assert RecoveryPolicy.full().armed_features == (
+        "retries",
+        "hedging",
+        "health",
+        "shedding",
+        "deadline",
+    )
+
+
+def test_partial_recovery_arms_selectively():
+    policy = RecoveryPolicy(retry=RetryPolicy(enabled=True))
+    assert policy.armed_features == ("retries",)
+    deadline_only = RecoveryPolicy(deadline_us=1_000.0)
+    assert deadline_only.armed_features == ("deadline",)
+
+
+def test_recovery_policy_validation():
+    with pytest.raises(ValueError):
+        RecoveryPolicy(deadline_us=0.0)
+    with pytest.raises(ValueError):
+        RecoveryPolicy(retry_budget_min=-1.0)

@@ -161,3 +161,81 @@ def test_chrome_trace_marks_open_spans():
     (event,) = to_chrome_trace(tracer)["traceEvents"]
     assert event["dur"] == 0.0
     assert event["args"]["open"] is True
+
+
+# -- fleet serving-report document ------------------------------------
+
+
+def make_fleet_report():
+    from repro.fleet.scheduler import (
+        FleetReport,
+        InvocationOutcome,
+        ServedInvocation,
+        StartKind,
+    )
+
+    return FleetReport(
+        served=[
+            ServedInvocation(
+                time_us=0.0,
+                function="f0",
+                kind=StartKind.SNAPSHOT,
+                latency_us=200_000.0,
+            ),
+            ServedInvocation(
+                time_us=1.0,
+                function="f1",
+                kind=StartKind.WARM,
+                latency_us=100_000.0,
+                outcome=InvocationOutcome.RETRIED,
+                attempts=2,
+            ),
+            ServedInvocation(
+                time_us=2.0,
+                function="f0",
+                kind=None,
+                latency_us=0.0,
+                outcome=InvocationOutcome.SHED,
+                attempts=0,
+            ),
+        ]
+    )
+
+
+def test_fleet_report_doc_structure():
+    from repro.metrics.exporters import REPORT_SCHEMA, fleet_report_doc
+
+    doc = fleet_report_doc(make_fleet_report())
+    assert doc["schema"] == REPORT_SCHEMA
+    assert len(doc["invocations"]) == 3
+    first = doc["invocations"][0]
+    assert first["outcome"] == "ok"
+    assert first["kind"] == "snapshot"
+    assert first["attempts"] == 1
+    shed = doc["invocations"][2]
+    assert shed["outcome"] == "shed"
+    assert shed["kind"] is None
+    assert doc["outcome_counts"] == {
+        "ok": 1, "retried": 1, "hedge-won": 0, "shed": 1, "failed": 0,
+    }
+    assert doc["availability"] == pytest.approx(2 / 3)
+    assert doc["total_attempts"] == 3
+    assert doc["retry_amplification"] == pytest.approx(1.0)
+    # Latency statistics cover only the successfully served arrivals.
+    assert doc["mean_latency_us"] == pytest.approx(150_000.0)
+    json.dumps(doc)  # must be serializable as-is
+
+
+def test_fleet_report_doc_includes_host_stats_for_clusters():
+    from repro.cluster.scheduler import ClusterReport, HostStats
+    from repro.metrics.exporters import fleet_report_doc
+
+    report = ClusterReport(
+        host_stats={
+            "host0": HostStats(host="host0", failures=2, shed=1),
+            "host1": HostStats(host="host1"),
+        }
+    )
+    doc = fleet_report_doc(report)
+    assert doc["host_failures"] == {"host0": 2, "host1": 0}
+    assert doc["host_shed"] == {"host0": 1, "host1": 0}

@@ -1,0 +1,210 @@
+"""Property-based tests for the fault subsystem's invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterConfig, ClusterSimulator
+from repro.faults import (
+    FaultPlan,
+    HedgePolicy,
+    HedgeTracker,
+    HostCrash,
+    RecoveryPolicy,
+    RetryBudget,
+    RetryPolicy,
+)
+from repro.fleet.scheduler import InvocationOutcome, StartKind
+from repro.fleet.workload import Arrival, ArrivalTrace, FleetFunction
+
+SECOND = 1_000_000.0
+
+
+# -- backoff bounds ----------------------------------------------------
+
+
+@given(
+    base=st.floats(min_value=0.0, max_value=1e7),
+    multiplier=st.floats(min_value=1.0, max_value=10.0),
+    max_backoff=st.floats(min_value=0.0, max_value=1e7),
+    jitter=st.floats(min_value=0.0, max_value=1.0),
+    attempt=st.integers(min_value=1, max_value=30),
+    seed=st.integers(min_value=0, max_value=2**32),
+)
+@settings(max_examples=200, deadline=None)
+def test_backoff_always_within_cap(
+    base, multiplier, max_backoff, jitter, attempt, seed
+):
+    policy = RetryPolicy(
+        base_backoff_us=base,
+        multiplier=multiplier,
+        max_backoff_us=max_backoff,
+        jitter=jitter,
+    )
+    backoff = policy.backoff_us(attempt, random.Random(seed))
+    assert 0.0 <= backoff <= max_backoff
+
+
+# -- retry budget conservation -----------------------------------------
+
+
+@given(
+    min_budget=st.floats(min_value=0.0, max_value=50.0),
+    ratio=st.floats(min_value=0.0, max_value=2.0),
+    ops=st.lists(st.booleans(), max_size=300),
+)
+@settings(max_examples=200, deadline=None)
+def test_budget_spend_bounded_by_earnings(min_budget, ratio, ops):
+    """``spent <= min_budget + ratio * arrivals`` for any interleaving
+    of arrivals (True) and retry requests (False)."""
+    budget = RetryBudget(min_budget=min_budget, ratio=ratio)
+    for is_arrival in ops:
+        if is_arrival:
+            budget.on_arrival()
+        else:
+            budget.try_spend()
+        # Conservation holds at every step, not just at the end.
+        earned = budget.min_budget + budget.ratio * budget.arrivals
+        assert budget.spent <= earned + 1e-9
+        assert abs(budget.tokens - (earned - budget.spent)) < 1e-6
+        assert budget.tokens >= 0.0
+
+
+# -- hedge tracker -----------------------------------------------------
+
+
+@given(
+    latencies=st.lists(
+        st.floats(min_value=0.0, max_value=1e8), max_size=100
+    ),
+    min_samples=st.integers(min_value=1, max_value=30),
+    floor=st.floats(min_value=0.0, max_value=1e6),
+    window=st.integers(min_value=1, max_value=40),
+)
+@settings(max_examples=200, deadline=None)
+def test_hedge_threshold_floor_and_window(
+    latencies, min_samples, floor, window
+):
+    policy = HedgePolicy(
+        enabled=True, min_samples=min_samples, floor_us=floor
+    )
+    tracker = HedgeTracker(policy, window=window)
+    for latency in latencies:
+        tracker.record(latency)
+        assert tracker.samples <= window
+    threshold = tracker.threshold_us()
+    if tracker.samples < min_samples:
+        assert threshold is None
+    else:
+        assert threshold >= floor
+        # The nearest-rank percentile is one of the observations (or
+        # the floor): never an extrapolation beyond the max sample.
+        assert threshold <= max(max(tracker._latencies), floor)
+
+
+# -- every arrival accounted exactly once under faults -----------------
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    crash_at=st.floats(min_value=0.0, max_value=3.0 * SECOND),
+    reboot_after=st.floats(min_value=0.1 * SECOND, max_value=2.0 * SECOND),
+)
+@settings(max_examples=8, deadline=None)
+def test_arrivals_counted_exactly_once_under_crashes(
+    seed, crash_at, reboot_after
+):
+    """Whatever the crash timing, every arrival ends in exactly one
+    outcome, attempts are consistent with it, and hedging/retries
+    never double-record an arrival."""
+    fleet = [
+        FleetFunction(
+            name=f"f{i}", profile_name="json", mean_interarrival_us=SECOND
+        )
+        for i in range(2)
+    ]
+    arrivals = [
+        Arrival(time_us=i * 500_000.0, function=f"f{i % 2}")
+        for i in range(6)
+    ]
+    trace = ArrivalTrace(
+        arrivals=arrivals, duration_us=arrivals[-1].time_us + 1
+    )
+    config = ClusterConfig(
+        num_hosts=2,
+        placement="round-robin",
+        recovery=RecoveryPolicy.full(),
+        seed=seed,
+    )
+    plan = FaultPlan(
+        host_crashes=[
+            HostCrash(
+                host="host0", at_us=crash_at, reboot_after_us=reboot_after
+            )
+        ]
+    )
+    report = ClusterSimulator(fleet, config).run(trace, fault_plan=plan)
+
+    assert len(report.served) == len(trace)
+    counts = report.outcome_counts()
+    assert sum(counts.values()) == len(trace)
+    # One record per arrival (time, function) — nothing duplicated
+    # by a hedge or retry, nothing dropped by a crash.
+    keys = sorted((s.time_us, s.function) for s in report.served)
+    expected = sorted((a.time_us, a.function) for a in arrivals)
+    assert keys == expected
+    for s in report.served:
+        if s.outcome is InvocationOutcome.SHED:
+            assert s.attempts == 0 and s.kind is None
+        elif s.outcome is InvocationOutcome.FAILED:
+            assert s.attempts >= 1 and s.kind is None
+        elif s.outcome is InvocationOutcome.OK:
+            assert s.attempts >= 1 and s.kind is not None
+        else:
+            assert s.attempts >= 2 and s.kind is not None
+    # Per-host attribution stays consistent with the served list.
+    assert sum(
+        stats.invocations for stats in report.host_stats.values()
+    ) >= counts["ok"] + counts["retried"] + counts["hedge-won"]
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    crash_at=st.floats(min_value=2.4 * SECOND, max_value=3.6 * SECOND),
+)
+@settings(max_examples=6, deadline=None)
+def test_crashed_pool_never_serves_warm(seed, crash_at):
+    """A warm VM lost to a crash is never reused: after the crash and
+    until some invocation completes post-reboot, no warm start can
+    happen on the crashed host."""
+    fleet = [
+        FleetFunction(
+            name="f0", profile_name="json", mean_interarrival_us=SECOND
+        )
+    ]
+    # First arrival cold-boots (~2.3 s) and parks a warm VM; the crash
+    # lands while it idles; the second arrival must not reuse it.
+    arrivals = [
+        Arrival(time_us=0.0, function="f0"),
+        Arrival(time_us=4.0 * SECOND, function="f0"),
+    ]
+    trace = ArrivalTrace(arrivals=arrivals, duration_us=4.0 * SECOND + 1)
+    config = ClusterConfig(
+        num_hosts=1,
+        keep_alive_ttl_us=60 * SECOND,
+        recovery=RecoveryPolicy(retry=RetryPolicy(enabled=True)),
+        seed=seed,
+    )
+    plan = FaultPlan(
+        host_crashes=[
+            HostCrash(
+                host="host0", at_us=crash_at, reboot_after_us=0.2 * SECOND
+            )
+        ]
+    )
+    report = ClusterSimulator(fleet, config).run(trace, fault_plan=plan)
+    first, second = report.served
+    if report.host_stats["host0"].crash_vm_losses:
+        # The pool was drained by the crash: no warm reuse possible.
+        assert second.kind is not StartKind.WARM
