@@ -28,6 +28,22 @@ runners vary). The event *count* is checked exactly.
 experiment; with ``--update`` the timings are recorded in the
 baseline's ``experiments`` section as an informational perf
 trajectory (not gated — full figures are too slow for CI).
+
+Sharded-cluster entries (PR 6):
+
+* ``--sharded-smoke`` — CI-sized determinism gate: the same fleet
+  trace at ``shards=1`` and ``shards=2`` must produce bit-identical
+  invocation counts, latency checksums, and merged telemetry, and
+  match the committed ``cluster_sharded.smoke`` baseline exactly.
+  ``--report-out`` writes the fleet-report JSON artifact.
+* ``--sharded-scale`` — the gated 64-host / 100k-invocation entry
+  (minutes-to-hours; never run in CI). Exact-gates invocations and
+  the latency checksum against ``cluster_sharded.scale`` (valid for
+  any shard count — the checksum is shard-count-invariant), floors
+  invocations/sec, and asserts the >= 3x shards=4 speedup when the
+  box has >= 4 cores.
+* ``--check`` — the full regression gate: ``--smoke`` plus the
+  sharded parity smoke.
 """
 
 from __future__ import annotations
@@ -140,6 +156,200 @@ def run_cluster_workload(sampler_interval_us=None, fault_plan=None) -> dict:
     }
 
 
+#: The sharded-cluster entries. ``smoke`` is CI-sized: the
+#: ``cluster-shard-smoke`` job runs it at shards=1 and shards=2 and
+#: requires bit-identical invocation counts and latency checksums
+#: (the cross-shard determinism contract), plus exact agreement with
+#: the committed baseline. ``scale`` is the ISSUE's 64-host /
+#: 100k-invocation target — far too slow for CI, gated behind
+#: ``--sharded-scale``. Its latency checksum is shard-count-invariant
+#: by the determinism contract, so one baseline gates every shard
+#: count.
+SHARDED_SMOKE = {
+    "hosts": 8,
+    "functions": 8,
+    "shards": 2,
+    "seed": 7,
+    "duration_us": 60_000_000.0,
+    "hot_interarrival_us": 2_000_000.0,
+    "cold_interarrival_us": 60_000_000.0,
+}
+
+SHARDED_SCALE = {
+    "hosts": 64,
+    "functions": 16,
+    "shards": 4,
+    "seed": 42,
+    "duration_us": 540_000_000.0,  # ~100k arrivals at this density
+    "hot_interarrival_us": 20_000.0,
+    "cold_interarrival_us": 1_000_000.0,
+}
+
+#: shards=4 must beat shards=1 by this factor — only meaningful (and
+#: only asserted) when the box actually has >= 4 cores to run the
+#: shard workers on.
+SHARDED_SPEEDUP_FLOOR = 3.0
+
+
+def run_sharded_cluster_workload(entry: dict, shards: int) -> dict:
+    """Serve one sharded-cluster entry and return its metrics.
+
+    The workload is fully determined by ``entry`` — ``shards`` only
+    picks the execution topology, so invocations and the latency
+    checksum must not depend on it.
+    """
+    from repro.cluster import ClusterConfig, ShardedClusterSimulator
+    from repro.fleet.workload import generate_arrivals, synthesize_fleet
+
+    fleet = synthesize_fleet(
+        entry["functions"],
+        seed=entry["seed"],
+        profile_names=("json", "pyaes"),
+        hot_interarrival_us=entry["hot_interarrival_us"],
+        cold_interarrival_us=entry["cold_interarrival_us"],
+    )
+    trace = generate_arrivals(
+        fleet, duration_us=entry["duration_us"], seed=entry["seed"]
+    )
+    config = ClusterConfig(
+        num_hosts=entry["hosts"],
+        placement="least-loaded",
+        keep_alive_ttl_us=30_000_000.0,
+    )
+    started = time.perf_counter()
+    simulator = ShardedClusterSimulator(fleet, config, shards=shards)
+    report = simulator.run(trace)
+    elapsed = time.perf_counter() - started
+    return {
+        "hosts": entry["hosts"],
+        "shards": simulator.shards,
+        "windows": simulator.windows_run,
+        "invocations": report.count(),
+        "latency_checksum_us": round(
+            sum(s.latency_us for s in report.served), 3
+        ),
+        "wall_seconds": round(elapsed, 3),
+        "invocations_per_sec": round(report.count() / elapsed, 2),
+        "merged_metrics": simulator.merged_metrics,
+    }
+
+
+def _strip(metrics: dict) -> dict:
+    return {k: v for k, v in metrics.items() if k != "merged_metrics"}
+
+
+def check_sharded_smoke(report_out=None, baseline=None) -> int:
+    """CI gate: shards=1 vs shards=2 parity on the smoke entry."""
+    status = 0
+    single = run_sharded_cluster_workload(SHARDED_SMOKE, shards=1)
+    sharded = run_sharded_cluster_workload(
+        SHARDED_SMOKE, shards=SHARDED_SMOKE["shards"]
+    )
+    for key, value in _strip(sharded).items():
+        print(f"{'sharded.' + key:>26}: {value}")
+    for exact_key in ("invocations", "latency_checksum_us"):
+        if single[exact_key] != sharded[exact_key]:
+            print(
+                f"FAIL: sharded {exact_key} {sharded[exact_key]} != "
+                f"single-shard {single[exact_key]} — the cross-shard "
+                "merge is not deterministic",
+                file=sys.stderr,
+            )
+            status = 1
+    if single["merged_metrics"] != sharded["merged_metrics"]:
+        print(
+            "FAIL: merged telemetry differs between shards=1 and "
+            f"shards={sharded['shards']}",
+            file=sys.stderr,
+        )
+        status = 1
+    smoke_baseline = (baseline or {}).get("smoke")
+    if smoke_baseline is not None:
+        for exact_key in ("invocations", "latency_checksum_us"):
+            if sharded[exact_key] != smoke_baseline[exact_key]:
+                print(
+                    f"FAIL: sharded smoke {exact_key} "
+                    f"{sharded[exact_key]} != baseline "
+                    f"{smoke_baseline[exact_key]} — sharded cluster "
+                    "behaviour changed",
+                    file=sys.stderr,
+                )
+                status = 1
+    if report_out is not None:
+        artifact = {
+            "entry": SHARDED_SMOKE,
+            "single": _strip(single),
+            "sharded": _strip(sharded),
+            "parity": status == 0,
+            "merged_metrics": sharded["merged_metrics"],
+        }
+        Path(report_out).write_text(json.dumps(artifact, indent=2) + "\n")
+        print(f"fleet report written to {report_out}")
+    if status == 0:
+        print(
+            f"OK: sharded smoke parity — shards=1 and "
+            f"shards={sharded['shards']} agree on "
+            f"{sharded['invocations']} invocations, checksum "
+            f"{sharded['latency_checksum_us']}, merged telemetry equal"
+        )
+    return status
+
+
+def check_sharded_scale(shards, threshold, baseline=None) -> tuple:
+    """The gated 64-host / 100k-invocation entry."""
+    import os
+
+    status = 0
+    metrics = run_sharded_cluster_workload(SHARDED_SCALE, shards=shards)
+    for key, value in _strip(metrics).items():
+        print(f"{'sharded_scale.' + key:>30}: {value}")
+    scale_baseline = (baseline or {}).get("scale")
+    if scale_baseline is not None:
+        # The checksum is shard-count-invariant, so these gates hold
+        # for whatever --shards was requested.
+        for exact_key in ("invocations", "latency_checksum_us"):
+            if metrics[exact_key] != scale_baseline[exact_key]:
+                print(
+                    f"FAIL: sharded scale {exact_key} "
+                    f"{metrics[exact_key]} != baseline "
+                    f"{scale_baseline[exact_key]}",
+                    file=sys.stderr,
+                )
+                status = 1
+        floor = scale_baseline["invocations_per_sec"] * (1.0 - threshold)
+        if metrics["invocations_per_sec"] < floor:
+            print(
+                f"FAIL: {metrics['invocations_per_sec']:.2f} sharded "
+                f"invocations/sec is below {floor:.2f} (baseline "
+                f"{scale_baseline['invocations_per_sec']:.2f} "
+                f"- {threshold:.0%})",
+                file=sys.stderr,
+            )
+            status = 1
+    cores = os.cpu_count() or 1
+    if shards > 1 and cores >= shards:
+        single = run_sharded_cluster_workload(SHARDED_SCALE, shards=1)
+        speedup = (
+            metrics["invocations_per_sec"]
+            / single["invocations_per_sec"]
+        )
+        print(f"{'sharded_scale.speedup':>30}: {speedup:.2f}x")
+        if speedup < SHARDED_SPEEDUP_FLOOR:
+            print(
+                f"FAIL: shards={shards} is only {speedup:.2f}x the "
+                f"single-shard run (floor {SHARDED_SPEEDUP_FLOOR}x)",
+                file=sys.stderr,
+            )
+            status = 1
+    elif shards > 1:
+        print(
+            f"note: {cores} core(s) < {shards} shards — skipping the "
+            f"{SHARDED_SPEEDUP_FLOOR}x speedup assertion (it measures "
+            "parallel hardware, which this box lacks)"
+        )
+    return status, metrics
+
+
 def time_figures(names) -> dict:
     """Regenerate whole experiments; wall-clock seconds per id."""
     from repro.experiments import ALL_EXPERIMENTS
@@ -179,7 +389,71 @@ def main() -> int:
         default=0.30,
         help="allowed events/sec regression fraction (default 0.30)",
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="full regression gate: --smoke plus the sharded-cluster "
+        "parity smoke against the cluster_sharded baseline",
+    )
+    parser.add_argument(
+        "--sharded-smoke",
+        action="store_true",
+        help="only the sharded-cluster parity smoke (shards=1 vs 2, "
+        "bit-identical checksums and merged telemetry)",
+    )
+    parser.add_argument(
+        "--sharded-scale",
+        action="store_true",
+        help="the gated 64-host / 100k-invocation cluster_sharded "
+        "entry (slow; gated against BENCH_core.json)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=SHARDED_SCALE["shards"],
+        help="shard count for --sharded-scale (default "
+        f"{SHARDED_SCALE['shards']})",
+    )
+    parser.add_argument(
+        "--report-out",
+        metavar="PATH",
+        help="with --sharded-smoke/--check: write the fleet-report "
+        "JSON artifact here",
+    )
     args = parser.parse_args()
+
+    sharded_baseline = None
+    if BASELINE_PATH.exists():
+        sharded_baseline = json.loads(BASELINE_PATH.read_text()).get(
+            "cluster_sharded"
+        )
+
+    if args.sharded_smoke:
+        return check_sharded_smoke(
+            report_out=args.report_out, baseline=sharded_baseline
+        )
+
+    if args.sharded_scale:
+        status, metrics = check_sharded_scale(
+            args.shards, args.threshold, baseline=sharded_baseline
+        )
+        if args.update:
+            full = (
+                json.loads(BASELINE_PATH.read_text())
+                if BASELINE_PATH.exists()
+                else {}
+            )
+            section = full.setdefault("cluster_sharded", {})
+            section["scale"] = _strip(metrics)
+            section["scale"]["workload"] = SHARDED_SCALE
+            section["speedup_floor"] = SHARDED_SPEEDUP_FLOOR
+            BASELINE_PATH.write_text(json.dumps(full, indent=2) + "\n")
+            print(f"cluster_sharded scale baseline written to {BASELINE_PATH}")
+            return 0
+        return status
+
+    if args.check:
+        args.smoke = True
 
     cells = SMOKE_CELLS if args.smoke else FULL_CELLS
     metrics = run_workload(cells)
@@ -207,6 +481,16 @@ def main() -> int:
             previous = json.loads(BASELINE_PATH.read_text())
             if "experiments" in previous:
                 baseline["experiments"] = previous["experiments"]
+        if BASELINE_PATH.exists():
+            previous = json.loads(BASELINE_PATH.read_text())
+            if "cluster_sharded" in previous:
+                baseline["cluster_sharded"] = previous["cluster_sharded"]
+        sharded_smoke = run_sharded_cluster_workload(
+            SHARDED_SMOKE, shards=SHARDED_SMOKE["shards"]
+        )
+        baseline.setdefault("cluster_sharded", {})["smoke"] = _strip(
+            sharded_smoke
+        )
         BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
         print(f"baseline written to {BASELINE_PATH}")
         return 0
@@ -301,6 +585,14 @@ def main() -> int:
                 file=sys.stderr,
             )
             status = 1
+
+    if args.check:
+        status = (
+            check_sharded_smoke(
+                report_out=args.report_out, baseline=sharded_baseline
+            )
+            or status
+        )
 
     if status == 0:
         print(

@@ -311,16 +311,34 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         snapshot_tier=args.tier,
         max_concurrent_per_host=args.max_concurrent,
     )
-    simulator = ClusterSimulator(fleet, config)
     tracer = Tracer() if args.trace_out or args.chrome_trace else None
     sampler_interval_us = (
         args.sample_interval_ms * 1000.0
         if args.sample_interval_ms is not None
         else (100_000.0 if args.metrics_out else None)
     )
-    report = simulator.run(
-        trace, tracer=tracer, sampler_interval_us=sampler_interval_us
-    )
+    sharded = args.shards > 0
+    if sharded:
+        from repro.cluster import ShardedClusterSimulator
+
+        if tracer is not None or args.sample_interval_ms is not None:
+            print(
+                "note: --trace-out/--chrome-trace/--sample-interval-ms "
+                "are per-heap instruments; ignored with --shards"
+            )
+            tracer = None
+        simulator = ShardedClusterSimulator(
+            fleet,
+            config,
+            shards=args.shards,
+            window_us=args.window_ms * 1000.0,
+        )
+        report = simulator.run(trace)
+    else:
+        simulator = ClusterSimulator(fleet, config)
+        report = simulator.run(
+            trace, tracer=tracer, sampler_interval_us=sampler_interval_us
+        )
     if args.report_out:
         from repro.metrics.exporters import fleet_report_doc
 
@@ -379,6 +397,23 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             title="Per-host breakdown",
         )
     )
+    if sharded:
+        if args.metrics_out:
+            status = _write_output(
+                args.metrics_out,
+                json.dumps(
+                    simulator.merged_metrics, indent=2, sort_keys=True
+                ),
+                "merged shard telemetry",
+            )
+            if status:
+                return status
+        print(
+            f"sharded: {simulator.shards} shard(s), "
+            f"{simulator.windows_run} window(s) of "
+            f"{simulator.window_us / 1000:g} ms"
+        )
+        return 0
     return _emit_run_outputs(
         args,
         simulator.registry,
@@ -617,6 +652,22 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[p.value for p in Policy],
     )
     cluster.add_argument("--seed", type=int, default=1)
+    cluster.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run the sharded execution path with N worker shards "
+        "(1 = the same windowed protocol, serially; results are "
+        "bit-identical for any N; default: the single-heap path)",
+    )
+    cluster.add_argument(
+        "--window-ms",
+        type=float,
+        default=250.0,
+        metavar="MS",
+        help="synchronization window for --shards (default: 250)",
+    )
     cluster.add_argument(
         "--trace-out",
         default=None,

@@ -15,6 +15,9 @@ not assumed.
 * :mod:`~repro.cluster.scheduler` — the cluster scheduler itself,
   with per-host keep-alive pools, memory budgets, admission limits,
   and a local-NVMe vs shared-EBS snapshot-store tier.
+* :mod:`~repro.cluster.sharding` — sharded execution of the same
+  run: per-host event heaps synchronized through conservative
+  virtual-time windows, bit-identical for any shard count.
 """
 
 from repro.cluster.placement import (
@@ -24,6 +27,7 @@ from repro.cluster.placement import (
     PlacementPolicy,
     RoundRobin,
     SnapshotLocality,
+    StaticHostView,
     make_placement,
 )
 from repro.cluster.scheduler import (
@@ -35,11 +39,18 @@ from repro.cluster.scheduler import (
     ClusterSimulator,
     HostStats,
 )
+from repro.cluster.sharding import (
+    DEFAULT_WINDOW_US,
+    ShardedClusterSimulator,
+    partition_hosts,
+    plan_for_host,
+)
 
 __all__ = [
     "ClusterConfig",
     "ClusterReport",
     "ClusterSimulator",
+    "DEFAULT_WINDOW_US",
     "HostStats",
     "HostView",
     "LeastLoaded",
@@ -47,8 +58,12 @@ __all__ = [
     "PlacementPolicy",
     "RoundRobin",
     "SNAPSHOT_TIERS",
+    "ShardedClusterSimulator",
     "SnapshotLocality",
+    "StaticHostView",
     "TIER_LOCAL_NVME",
     "TIER_SHARED_EBS",
     "make_placement",
+    "partition_hosts",
+    "plan_for_host",
 ]

@@ -24,7 +24,8 @@ placements.
 from __future__ import annotations
 
 import abc
-from typing import Callable, Dict, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Sequence
 
 
 class HostView(abc.ABC):
@@ -42,6 +43,39 @@ class HostView(abc.ABC):
 
     @abc.abstractmethod
     def has_snapshot_for(self, function: str) -> bool: ...
+
+
+@dataclass
+class StaticHostView(HostView):
+    """A :class:`HostView` over a *snapshot* of host state.
+
+    Sharded cluster execution's router places arrivals without live
+    access to host objects (they live in worker processes), so it
+    builds one of these per host from the state each host published at
+    the last window barrier. ``base_load`` is the load at the barrier;
+    ``projected`` counts dispatches the router has since routed there
+    within the current window, so same-window arrivals see each
+    other's load exactly like same-instant arrivals do on the
+    single-heap path. The ``healthy`` field makes the view compatible
+    with :class:`HealthFiltered`.
+    """
+
+    index: int
+    base_load: int = 0
+    projected: int = 0
+    idle_warm: FrozenSet[str] = field(default_factory=frozenset)
+    snapshots: FrozenSet[str] = field(default_factory=frozenset)
+    healthy: bool = True
+
+    @property
+    def load(self) -> int:
+        return self.base_load + self.projected
+
+    def has_idle_warm(self, function: str) -> bool:
+        return function in self.idle_warm
+
+    def has_snapshot_for(self, function: str) -> bool:
+        return function in self.snapshots
 
 
 class PlacementPolicy(abc.ABC):

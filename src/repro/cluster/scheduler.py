@@ -319,6 +319,36 @@ class ClusterSimulator(ClusterScheduler):
         latencies as the legacy inline path (the perf harness gates
         this parity).
         """
+        env = self._begin_run(tracer, fault_plan)
+        self.sampler: Optional[Sampler] = None
+        if sampler_interval_us is not None:
+            self.sampler = Sampler(self.registry, env, sampler_interval_us)
+            self.sampler.start()
+        driver = env.process(self._driver(trace), name="cluster-driver")
+        env.run(until=driver)
+        if self.sampler is not None:
+            self.sampler.stop()
+        return self._finish_run()
+
+    def _host_id(self, index: int) -> str:
+        """Global name of host ``index``. Sharded execution overrides
+        this so each single-host shard sim keeps its cluster-wide
+        name."""
+        return f"host{index}"
+
+    def _make_retry_budget(self, recovery: RecoveryPolicy) -> RetryBudget:
+        """The run's retry budget. Sharded execution overrides this to
+        hand each host one partition of the cluster-wide bucket."""
+        return RetryBudget(
+            recovery.retry_budget_min, recovery.retry_budget_ratio
+        )
+
+    def _begin_run(self, tracer, fault_plan: Optional[FaultPlan]) -> Environment:
+        """Set up everything a run needs up to (but excluding) the
+        driver process: environment, report, placement, counters,
+        fault machinery, hosts, health monitor. Split out of ``run``
+        so the sharded execution path can reuse it verbatim for its
+        per-host sims."""
         env = Environment(seed=self.config.seed)
         self.env = env
         self.registry = env.metrics
@@ -340,7 +370,7 @@ class ClusterSimulator(ClusterScheduler):
         self._placement: PlacementPolicy = CountingPlacement(
             inner,
             self.registry,
-            [f"host{i}" for i in range(self.config.num_hosts)],
+            [self._host_id(i) for i in range(self.config.num_hosts)],
         )
         counter = self.registry.counter
         self._ctr_invocations = counter("cluster.scheduler.invocations")
@@ -354,9 +384,7 @@ class ClusterSimulator(ClusterScheduler):
         self._hedge_tracker: Optional[HedgeTracker] = None
         if self._armed:
             self.injector = FaultInjector(env, fault_plan)
-            self._retry_budget = RetryBudget(
-                recovery.retry_budget_min, recovery.retry_budget_ratio
-            )
+            self._retry_budget = self._make_retry_budget(recovery)
             self._hedge_tracker = HedgeTracker(recovery.hedge)
             self._ctr_failed = counter("cluster.scheduler.failed")
             self._ctr_shed = counter("cluster.scheduler.shed")
@@ -380,14 +408,12 @@ class ClusterSimulator(ClusterScheduler):
             self.monitor = HealthMonitor(
                 env, recovery.health, self._hosts
             )
-        self.sampler: Optional[Sampler] = None
-        if sampler_interval_us is not None:
-            self.sampler = Sampler(self.registry, env, sampler_interval_us)
-            self.sampler.start()
-        driver = env.process(self._driver(trace), name="cluster-driver")
-        env.run(until=driver)
-        if self.sampler is not None:
-            self.sampler.stop()
+        return env
+
+    def _finish_run(self) -> ClusterReport:
+        """Fold device stats into the report and canonicalise its
+        order; the tail end of ``run``, shared with sharded
+        execution's per-host sims."""
         report = self._report
         for hs in self._hosts:
             stats = hs.stats
@@ -419,7 +445,7 @@ class ClusterSimulator(ClusterScheduler):
             host = Host(
                 env,
                 config=config.platform,
-                host_id=f"host{index}",
+                host_id=self._host_id(index),
                 store=shared_store,
             )
             hs = _HostState(index, host, config)

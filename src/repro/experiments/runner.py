@@ -76,23 +76,38 @@ def parallel_map(
     worker: Callable[[Any], Any],
     items: Sequence[Any],
     jobs: Optional[int] = None,
+    start_method: Optional[str] = None,
 ) -> List[Any]:
     """Order-preserving map over ``items``.
 
     Serial when ``jobs`` resolves to 1; otherwise fans out over a
-    fork-based process pool. ``worker`` must be a module-level
-    callable and ``items`` picklable. Results come back in input
-    order regardless of completion order.
+    process pool. ``fork`` is preferred (cheap, shares the warm
+    interpreter), with a documented fallback to ``spawn`` where fork
+    is unavailable (macOS with threads, Windows) — worker payloads
+    are module-level callables with picklable arguments precisely so
+    the spawn path works too; results are identical either way, just
+    with a slower pool start. Only when *no* process start method
+    exists does the map silently run serially. ``start_method``
+    forces a specific method (tests use it to pin the spawn path).
+    Results come back in input order regardless of completion order.
     """
     njobs = resolve_jobs(jobs)
     if njobs <= 1 or len(items) <= 1:
         return [worker(item) for item in items]
     import multiprocessing
 
-    try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX fallback
-        return [worker(item) for item in items]
+    if start_method is not None:
+        context = multiprocessing.get_context(start_method)
+    else:
+        context = None
+        for method in ("fork", "spawn"):
+            try:
+                context = multiprocessing.get_context(method)
+                break
+            except ValueError:
+                continue
+        if context is None:  # pragma: no cover - no multiprocessing
+            return [worker(item) for item in items]
     with context.Pool(processes=min(njobs, len(items))) as pool:
         return pool.map(worker, items)
 

@@ -55,6 +55,7 @@ from repro.faults.recovery import (
     RetryBudget,
     RetryPolicy,
     SheddingPolicy,
+    rebalance_tokens,
 )
 
 __all__ = [
@@ -79,4 +80,5 @@ __all__ = [
     "SheddingPolicy",
     "SnapshotCorrupted",
     "SnapshotCorruption",
+    "rebalance_tokens",
 ]

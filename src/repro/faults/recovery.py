@@ -16,7 +16,7 @@ the latencies observed so far.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.policies import Policy
 
@@ -261,6 +261,42 @@ class RetryBudget:
             return True
         self.denied += 1
         return False
+
+    @classmethod
+    def partitioned(
+        cls, min_budget: float, ratio: float, partitions: int
+    ) -> "RetryBudget":
+        """One partition of a cluster-wide budget split ``partitions``
+        ways: the floor is divided evenly while the per-arrival earn
+        rate stays unchanged (each partition only sees its own
+        arrivals, so cluster-wide earnings still sum to
+        ``ratio * arrivals``). Sharded cluster execution gives every
+        host one partition and rebalances the pooled tokens at each
+        window barrier with :func:`rebalance_tokens`."""
+        if partitions < 1:
+            raise ValueError("partitions must be >= 1")
+        return cls(min_budget / partitions, ratio)
+
+
+def rebalance_tokens(tokens: Sequence[float]) -> List[float]:
+    """Deterministic barrier reconciliation of partitioned retry
+    budgets: pool every partition's unspent tokens and redistribute
+    the pool evenly.
+
+    The sum is taken in partition order, so the result is a pure
+    function of the input list — independent of how many worker
+    processes the partitions happen to be packed into. This keeps the
+    cluster-wide spend bound intact (the pool is conserved) while
+    letting a quiet shard's earnings fund retries in a failing one,
+    which is what a single cluster-wide bucket would have done.
+    """
+    if not tokens:
+        return []
+    pool = 0.0
+    for value in tokens:
+        pool += value
+    share = pool / len(tokens)
+    return [share] * len(tokens)
 
 
 class HedgeTracker:

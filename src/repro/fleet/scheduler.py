@@ -139,6 +139,12 @@ class IdlePool:
     def has_idle(self, function: str) -> bool:
         return bool(self._pools.get(function))
 
+    def idle_functions(self) -> List[str]:
+        """Sorted names of functions with at least one idle VM (the
+        sharded cluster publishes this in its barrier digests so the
+        router can answer ``has_idle_warm`` remotely)."""
+        return sorted(fn for fn, pool in self._pools.items() if pool)
+
     def __len__(self) -> int:
         """Idle VMs across all functions (the idle-pool-size gauge)."""
         return sum(len(pool) for pool in self._pools.values())

@@ -126,6 +126,12 @@ def merge_shard_snapshots(
     time/events, and virtual time sum; gauges are instantaneous
     per-shard state with no meaningful cross-shard aggregate, so they
     are dropped.
+
+    Key order in the merged maps is sorted by instrument name, *not*
+    first-seen order: different shard counts register instruments in
+    different orders, and the sharded cluster's determinism contract
+    compares merged snapshots for exact equality (including
+    serialisation order).
     """
     merged: Dict[str, Any] = {
         "schema": JSON_SCHEMA,
@@ -164,6 +170,8 @@ def merge_shard_snapshots(
             )
             existing["time_us"] += stat["time_us"]
             existing["events"] += stat["events"]
+    for key in ("counters", "histograms", "profile"):
+        merged[key] = dict(sorted(merged[key].items()))
     return merged
 
 

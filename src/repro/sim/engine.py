@@ -565,3 +565,29 @@ class Environment:
             self.step()
         self._now = deadline
         return None
+
+    def advance_to(self, deadline: float) -> int:
+        """Bounded-horizon stepping: process every event scheduled at
+        or before ``deadline``, then land the clock exactly on
+        ``deadline``. Returns the number of events dispatched.
+
+        This is the synchronization primitive for conservative
+        parallel simulation (sharded cluster execution): each shard
+        advances its own event heap to a common virtual-time barrier,
+        exchanges state, and continues. Processes blocked on events
+        beyond the horizon simply stay pending — calling
+        ``advance_to`` again with a later deadline resumes them, and
+        a sequence of ``advance_to`` calls dispatches exactly the
+        same events in exactly the same order as one ``run(until=T)``
+        to the final horizon (window boundaries add no events of
+        their own, so windowing cannot perturb simulated results).
+        """
+        if deadline < self._now:
+            raise SimulationError(
+                f"advance_to({deadline}) is in the past (now={self._now})"
+            )
+        before = self.events_processed
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        self._now = deadline
+        return self.events_processed - before
