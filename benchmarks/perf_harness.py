@@ -156,6 +156,51 @@ def run_cluster_workload(sampler_interval_us=None, fault_plan=None) -> dict:
     }
 
 
+#: Restore-bookkeeping hot-path microbench (the ROADMAP's
+#: ~40 ms/invocation flag): one host, one FAASNAP function, page
+#: cache dropped before every invocation so each one pays the full
+#: page-level restore path — mapping-plan construction, loader
+#: chunking, pending-read tracking, fault-record absorption.
+HOTPATH_FUNCTION = "json"
+HOTPATH_INVOCATIONS = 30
+
+
+def run_hotpath_workload(invocations: int = HOTPATH_INVOCATIONS) -> dict:
+    """Measure the cold FAASNAP restore path in wall-clock ms/invocation."""
+    from repro.core.host import Host
+    from repro.sim import Environment
+    from repro.workloads import get_profile
+
+    env = Environment(seed=7)
+    host = Host(env)
+    profile = get_profile(HOTPATH_FUNCTION)
+    box = {}
+
+    def record():
+        box["artifacts"] = yield from host.record_process(
+            profile, INPUT_A, Policy.FAASNAP
+        )
+
+    env.run(until=env.process(record()))
+    artifacts = box["artifacts"]
+    test_input = InputSpec(content_id=3, size_ratio=1.0)
+    started = time.perf_counter()
+    for _ in range(invocations):
+        host.drop_function_caches(artifacts)
+        env.run(
+            until=env.process(
+                host.invocation(artifacts, test_input, Policy.FAASNAP)
+            )
+        )
+    elapsed = time.perf_counter() - started
+    return {
+        "function": HOTPATH_FUNCTION,
+        "policy": Policy.FAASNAP.value,
+        "invocations": invocations,
+        "ms_per_invocation": round(elapsed * 1000.0 / invocations, 2),
+    }
+
+
 #: The sharded-cluster entries. ``smoke`` is CI-sized: the
 #: ``cluster-shard-smoke`` job runs it at shards=1 and shards=2 and
 #: requires bit-identical invocation counts and latency checksums
@@ -420,7 +465,52 @@ def main() -> int:
         help="with --sharded-smoke/--check: write the fleet-report "
         "JSON artifact here",
     )
+    parser.add_argument(
+        "--hotpath",
+        action="store_true",
+        help="restore-bookkeeping hot-path microbench (cold FAASNAP "
+        "restores, ms/invocation); with --update records the number "
+        "in the cluster_hotpath baseline entry",
+    )
     args = parser.parse_args()
+
+    if args.hotpath:
+        metrics = run_hotpath_workload()
+        for key, value in metrics.items():
+            print(f"{'hotpath.' + key:>28}: {value}")
+        full = (
+            json.loads(BASELINE_PATH.read_text())
+            if BASELINE_PATH.exists()
+            else {}
+        )
+        entry = full.get("cluster_hotpath")
+        if args.update:
+            recorded = dict(metrics)
+            if entry is not None and "before_ms_per_invocation" in entry:
+                recorded["before_ms_per_invocation"] = entry[
+                    "before_ms_per_invocation"
+                ]
+            full["cluster_hotpath"] = recorded
+            BASELINE_PATH.write_text(json.dumps(full, indent=2) + "\n")
+            print(f"cluster_hotpath baseline written to {BASELINE_PATH}")
+            return 0
+        if entry is not None:
+            ceiling = entry["ms_per_invocation"] * (1.0 + args.threshold)
+            if metrics["ms_per_invocation"] > ceiling:
+                print(
+                    f"FAIL: {metrics['ms_per_invocation']:.2f} ms/invocation "
+                    f"is above {ceiling:.2f} (baseline "
+                    f"{entry['ms_per_invocation']:.2f} + "
+                    f"{args.threshold:.0%})",
+                    file=sys.stderr,
+                )
+                return 1
+            print(
+                f"OK: hot path at {metrics['ms_per_invocation']:.2f} "
+                f"ms/invocation (baseline "
+                f"{entry['ms_per_invocation']:.2f})"
+            )
+        return 0
 
     sharded_baseline = None
     if BASELINE_PATH.exists():

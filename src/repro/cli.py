@@ -19,6 +19,11 @@ Commands:
   device brownout, snapshot corruption, EBS latency spike) against
   the self-healing cluster and report availability, goodput, retry
   amplification and tail latency vs the fault-free baseline.
+* ``serve`` — live service mode: drive the cluster incrementally
+  with a command stream (advance time, inject arrivals, grow/drain
+  hosts, hot-swap placement, arm/disarm faults), from a script file
+  or an interactive REPL, journaling every command; ``--replay``
+  re-executes a journal and gates on bit-identical digests.
 
 ``invoke``, ``cluster`` and ``telemetry`` accept ``--trace-out FILE``
 to export the recorded spans as Zipkin-flavoured JSON (tagged per
@@ -423,6 +428,147 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.fleet.workload import US_PER_MINUTE, JsonLinesArrivalSource
+    from repro.service import (
+        CommandError,
+        DrainCommand,
+        JournalWriter,
+        ServiceError,
+        StatusCommand,
+        build_service,
+        parse_command,
+        replay_journal,
+    )
+
+    if args.replay:
+        outcome = replay_journal(args.replay)
+        if outcome.ok:
+            print(
+                f"replay OK: {outcome.entries} command(s), "
+                f"every digest bit-identical"
+            )
+            return 0
+        print(
+            f"replay FAILED: {len(outcome.mismatches)} digest "
+            f"mismatch(es) across {outcome.entries} command(s)"
+        )
+        for mismatch in outcome.mismatches[:10]:
+            print(
+                f"  seq {mismatch['seq']}: {mismatch['field']} "
+                f"expected {mismatch['expected']!r} "
+                f"got {mismatch['actual']!r}"
+            )
+        return 1
+
+    interactive = args.script is None
+    if args.arrivals == "-" and interactive:
+        print(
+            "error: --arrivals - (stdin) requires --script "
+            "(the REPL reads commands from stdin)",
+            file=sys.stderr,
+        )
+        return 2
+    arrival_source = None
+    if args.arrivals == "poisson":
+        source_stanza = {"kind": "poisson", "seed": args.seed}
+    elif args.arrivals == "none":
+        source_stanza = {"kind": "none"}
+    elif args.arrivals == "-":
+        source_stanza = {"kind": "external"}
+        arrival_source = JsonLinesArrivalSource(sys.stdin)
+    else:
+        source_stanza = {"kind": "external"}
+        arrival_source = JsonLinesArrivalSource(
+            open(args.arrivals, "r", encoding="utf-8")
+        )
+    spec = {
+        "functions": args.functions,
+        "fleet_seed": args.seed,
+        "hosts": args.hosts,
+        "placement": args.placement,
+        "policy": args.policy,
+        "tier": args.tier,
+        "ttl_us": args.ttl_minutes * US_PER_MINUTE,
+        "memory_mb": args.memory_gb * 1024,
+        "max_concurrent": args.max_concurrent,
+        "seed": args.seed,
+        "sampler_interval_us": (
+            args.sample_interval_ms * 1000.0
+            if args.sample_interval_ms is not None
+            else None
+        ),
+        "source": source_stanza,
+    }
+    journal = JournalWriter(args.journal) if args.journal else None
+    service = build_service(
+        spec, arrival_source=arrival_source, journal=journal
+    )
+
+    if interactive:
+        lines = _repl_lines()
+    else:
+        with open(args.script, "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    status = 0
+    for line in lines:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            command = parse_command(line)
+            result = service.execute(command)
+        except (CommandError, ServiceError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            if not interactive:
+                status = 2
+                break
+            continue
+        print(json.dumps(result, sort_keys=True, default=str))
+        if isinstance(command, DrainCommand):
+            break
+    if status == 0 and service.report is None:
+        # Stream ended without an explicit drain: serve out what is
+        # pending so the run always produces a complete report.
+        service.execute(DrainCommand())
+    if journal is not None:
+        journal.close()
+    if service.report is not None:
+        report = service.report
+        print(
+            f"served {len(report.served)} invocation(s), "
+            f"mean latency {report.mean_latency_us() / 1000:.2f} ms, "
+            f"final state {json.dumps(service.execute(StatusCommand()), sort_keys=True, default=str)}"
+        )
+        if args.report_out:
+            from repro.metrics.exporters import fleet_report_doc
+
+            written = _write_output(
+                args.report_out,
+                json.dumps(fleet_report_doc(report), indent=2, sort_keys=True),
+                f"serving report ({len(report.served)} invocations)",
+            )
+            if written:
+                return written
+    return status
+
+
+def _repl_lines():
+    """Prompted line iterator for the interactive serve REPL."""
+    print(
+        "live cluster service — commands: advance MS | inject T:FN... | "
+        "add-host | drain-host H | undrain-host H | swap-placement P | "
+        "arm JSON | disarm | set-keepalive MS | snapshot-telemetry | "
+        "status | drain (^D quits, draining first)",
+        file=sys.stderr,
+    )
+    while True:
+        try:
+            yield input("serve> ")
+        except EOFError:
+            return
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.faults import DISABLED_RECOVERY
     from repro.faults.chaos import SCENARIO_NAMES, run_chaos
@@ -691,6 +837,81 @@ def build_parser() -> argparse.ArgumentParser:
         "count) plus the availability summary as JSON",
     )
     cluster.set_defaults(handler=_cmd_cluster)
+
+    serve = sub.add_parser(
+        "serve",
+        help="live service mode: drive the cluster with a journaled "
+        "command stream (script file or interactive REPL)",
+    )
+    serve.add_argument("--functions", type=int, default=8)
+    serve.add_argument("--hosts", type=int, default=2)
+    serve.add_argument(
+        "--placement", default="least-loaded", choices=PLACEMENT_NAMES
+    )
+    serve.add_argument(
+        "--tier", default=TIER_LOCAL_NVME, choices=SNAPSHOT_TIERS
+    )
+    serve.add_argument("--ttl-minutes", type=float, default=15.0)
+    serve.add_argument("--memory-gb", type=float, default=8.0)
+    serve.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admission limit per host (default: unlimited)",
+    )
+    serve.add_argument(
+        "--policy",
+        default=Policy.FAASNAP.value,
+        choices=[p.value for p in Policy],
+    )
+    serve.add_argument("--seed", type=int, default=1)
+    serve.add_argument(
+        "--arrivals",
+        default="poisson",
+        metavar="SOURCE",
+        help="arrival stream pulled by 'advance': 'poisson' "
+        "(synthetic, seeded), 'none' (only explicit inject), '-' "
+        "(JSON lines from stdin; needs --script), or a JSON-lines "
+        "file of {\"time_us\": ..., \"function\": ...} records "
+        "(default: poisson)",
+    )
+    serve.add_argument(
+        "--script",
+        default=None,
+        metavar="FILE",
+        help="command file, one command per line ('#' comments "
+        "allowed); without it, an interactive REPL reads stdin",
+    )
+    serve.add_argument(
+        "--journal",
+        default=None,
+        metavar="FILE",
+        help="record every executed command (with pulled arrivals "
+        "and a state digest) as a replayable JSON-lines journal",
+    )
+    serve.add_argument(
+        "--replay",
+        default=None,
+        metavar="FILE",
+        help="re-execute a journal and verify every digest is "
+        "bit-identical (exit non-zero on any mismatch); all other "
+        "flags are ignored — the journal header pins the topology",
+    )
+    serve.add_argument(
+        "--sample-interval-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="virtual-time gauge sampling cadence (default: off)",
+    )
+    serve.add_argument(
+        "--report-out",
+        default=None,
+        metavar="FILE",
+        help="write the final serving report as JSON after drain",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     chaos = sub.add_parser(
         "chaos",

@@ -182,6 +182,36 @@ class HealthFiltered(PlacementPolicy):
         return healthy[self.inner.choose(views, function)]
 
 
+class HotSwappablePlacement(PlacementPolicy):
+    """Decorator whose inner policy can be replaced mid-run.
+
+    The live service's ``swap_placement`` command re-points the
+    cluster's placement at a *fresh* instance of another registered
+    policy while invocations are in flight. A fresh instance (rather
+    than a paused old one) keeps the hand-off deterministic: the new
+    policy starts from its initial state (e.g. a round-robin cursor at
+    0) regardless of what ran before, so a journaled command stream
+    replays to identical placements. Delegation is a plain method
+    call with no state of its own, so wrapping a batch run in this
+    decorator changes nothing."""
+
+    def __init__(self, inner: PlacementPolicy):
+        self.inner = inner
+        self.name = inner.name
+        #: Completed ``swap`` calls (telemetry for the service layer).
+        self.swaps = 0
+
+    def choose(self, hosts: Sequence[HostView], function: str) -> int:
+        return self.inner.choose(hosts, function)
+
+    def swap(self, name: str) -> PlacementPolicy:
+        """Install a fresh instance of policy ``name`` and return it."""
+        self.inner = make_placement(name)
+        self.name = self.inner.name
+        self.swaps += 1
+        return self.inner
+
+
 class CountingPlacement(PlacementPolicy):
     """Decorator that mirrors an inner policy's decisions into a
     telemetry registry: a total ``cluster.placement.decisions``
@@ -192,6 +222,7 @@ class CountingPlacement(PlacementPolicy):
     def __init__(self, inner: PlacementPolicy, registry, host_ids):
         self.inner = inner
         self.name = inner.name
+        self._registry = registry
         self._decisions = registry.counter("cluster.placement.decisions")
         self._per_host = [
             registry.counter(f"cluster.placement.to.{host_id}")
@@ -203,6 +234,14 @@ class CountingPlacement(PlacementPolicy):
         self._decisions.value += 1
         self._per_host[index].value += 1
         return index
+
+    def add_host(self, host_id: str) -> None:
+        """Extend the per-destination counters for a host added to the
+        cluster mid-run (positions are appended in host-index order,
+        matching the scheduler's host list)."""
+        self._per_host.append(
+            self._registry.counter(f"cluster.placement.to.{host_id}")
+        )
 
 
 _POLICIES: Dict[str, Callable[[], PlacementPolicy]] = {

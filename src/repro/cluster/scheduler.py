@@ -43,6 +43,7 @@ from repro.cluster.placement import (
     CountingPlacement,
     HealthFiltered,
     HostView,
+    HotSwappablePlacement,
     PlacementPolicy,
     make_placement,
 )
@@ -226,6 +227,9 @@ class _HostState(HostView):
         self.tracer = None
         #: Health plane (read by :class:`HealthFiltered` placement).
         self.healthy = True
+        #: Operator-drained: out of rotation by command, not by
+        #: failure — the health monitor must not reintegrate it.
+        self.drained = False
         #: Recent attempt-failure timestamps (health monitor input).
         self.error_times: List[float] = []
         #: Last instant the host looked bad (monitor bookkeeping).
@@ -318,17 +322,23 @@ class ClusterSimulator(ClusterScheduler):
         and idle features produces the same invocation outcomes and
         latencies as the legacy inline path (the perf harness gates
         this parity).
+
+        Since the service refactor this is a thin wrapper: the batch
+        run is one canned command stream (inject everything, then
+        drain) replayed through the :class:`~repro.service.core.
+        ClusterService` serving core, bit-identical to the historical
+        inline driver loop (the perf harness's cluster checksums gate
+        the equivalence).
         """
-        env = self._begin_run(tracer, fault_plan)
-        self.sampler: Optional[Sampler] = None
-        if sampler_interval_us is not None:
-            self.sampler = Sampler(self.registry, env, sampler_interval_us)
-            self.sampler.start()
-        driver = env.process(self._driver(trace), name="cluster-driver")
-        env.run(until=driver)
-        if self.sampler is not None:
-            self.sampler.stop()
-        return self._finish_run()
+        from repro.service.core import ClusterService
+
+        service = ClusterService(
+            self,
+            tracer=tracer,
+            sampler_interval_us=sampler_interval_us,
+            fault_plan=fault_plan,
+        )
+        return service.run_batch(trace)
 
     def _host_id(self, index: int) -> str:
         """Global name of host ``index``. Sharded execution overrides
@@ -363,9 +373,17 @@ class ClusterSimulator(ClusterScheduler):
             placement=self.config.placement,
             snapshot_tier=self.config.snapshot_tier,
         )
-        inner = make_placement(self.config.placement)
-        if self._armed:
-            inner = HealthFiltered(inner)
+        # Placement chain, innermost out: the configured policy, a
+        # hot-swap shim (the live service's ``swap_placement``), a
+        # health filter, and telemetry counting. The health filter is
+        # always present — it delegates untouched while every host is
+        # healthy, so the unarmed batch path keeps its exact event
+        # schedule, and live drain/crash state works even on runs that
+        # never armed the fault machinery.
+        self._hot_placement = HotSwappablePlacement(
+            make_placement(self.config.placement)
+        )
+        inner: PlacementPolicy = HealthFiltered(self._hot_placement)
         self._failover_placement = inner
         self._placement: PlacementPolicy = CountingPlacement(
             inner,
@@ -382,26 +400,10 @@ class ClusterSimulator(ClusterScheduler):
         self.monitor: Optional[HealthMonitor] = None
         self._retry_budget: Optional[RetryBudget] = None
         self._hedge_tracker: Optional[HedgeTracker] = None
+        self._robust_ready = False
         if self._armed:
+            self._install_robust_machinery()
             self.injector = FaultInjector(env, fault_plan)
-            self._retry_budget = self._make_retry_budget(recovery)
-            self._hedge_tracker = HedgeTracker(recovery.hedge)
-            self._ctr_failed = counter("cluster.scheduler.failed")
-            self._ctr_shed = counter("cluster.scheduler.shed")
-            self._ctr_retries = counter("retry.attempts")
-            self._ctr_degraded = counter("cluster.scheduler.degraded_starts")
-            self._ctr_corrupt = counter(
-                "cluster.scheduler.snapshot_corruptions"
-            )
-            budget = self._retry_budget
-            self.registry.pull_counter("retry.spent", lambda: budget.spent)
-            self.registry.pull_counter("retry.denied", lambda: budget.denied)
-            tracker = self._hedge_tracker
-            self.registry.pull_counter("hedge.fired", lambda: tracker.fired)
-            self.registry.pull_counter("hedge.won", lambda: tracker.won)
-            self.registry.pull_counter(
-                "hedge.cancelled", lambda: tracker.cancelled
-            )
         self._build_hosts(env, tracer)
         self._host_by_id = {hs.host.host_id: hs for hs in self._hosts}
         if self._armed and recovery.health.enabled:
@@ -409,6 +411,36 @@ class ClusterSimulator(ClusterScheduler):
                 env, recovery.health, self._hosts
             )
         return env
+
+    def _install_robust_machinery(self) -> None:
+        """Instruments and policy objects the robust serving path
+        needs (retry budget, hedge tracker, failure counters). Called
+        at ``_begin_run`` for armed runs, or lazily the first time a
+        live ``arm`` command upgrades an unarmed run. Idempotent —
+        re-arming keeps the run's budget and counters."""
+        if self._robust_ready:
+            return
+        self._robust_ready = True
+        recovery = self.config.recovery
+        counter = self.registry.counter
+        self._retry_budget = self._make_retry_budget(recovery)
+        self._hedge_tracker = HedgeTracker(recovery.hedge)
+        self._ctr_failed = counter("cluster.scheduler.failed")
+        self._ctr_shed = counter("cluster.scheduler.shed")
+        self._ctr_retries = counter("retry.attempts")
+        self._ctr_degraded = counter("cluster.scheduler.degraded_starts")
+        self._ctr_corrupt = counter(
+            "cluster.scheduler.snapshot_corruptions"
+        )
+        budget = self._retry_budget
+        self.registry.pull_counter("retry.spent", lambda: budget.spent)
+        self.registry.pull_counter("retry.denied", lambda: budget.denied)
+        tracker = self._hedge_tracker
+        self.registry.pull_counter("hedge.fired", lambda: tracker.fired)
+        self.registry.pull_counter("hedge.won", lambda: tracker.won)
+        self.registry.pull_counter(
+            "hedge.cancelled", lambda: tracker.cancelled
+        )
 
     def _finish_run(self) -> ClusterReport:
         """Fold device stats into the report and canonicalise its
@@ -431,6 +463,7 @@ class ClusterSimulator(ClusterScheduler):
 
     def _build_hosts(self, env: Environment, tracer) -> None:
         config = self.config
+        self._run_tracer = tracer
         shared_store: Optional[FileStore] = None
         self._shared_device: Optional[BlockDevice] = None
         if config.snapshot_tier == TIER_SHARED_EBS:
@@ -439,39 +472,46 @@ class ClusterSimulator(ClusterScheduler):
             )
             self._shared_device = shared_device
             shared_store = FileStore(env, shared_device)
+        self._shared_store = shared_store
         self._hosts: List[_HostState] = []
-        shared_snapshots: Set[str] = set()
+        self._shared_snapshots: Set[str] = set()
         for index in range(config.num_hosts):
-            host = Host(
-                env,
-                config=config.platform,
-                host_id=self._host_id(index),
-                store=shared_store,
-            )
-            hs = _HostState(index, host, config)
-            if shared_store is not None:
-                # One volume: a snapshot captured anywhere restores
-                # anywhere.
-                hs.snapshots = shared_snapshots
-            if tracer is not None:
-                hs.tracer = tracer.tagged(host=host.host_id)
-            gauge = self.registry.gauge
-            host_id = host.host_id
-            gauge(
-                f"{host_id}.scheduler.active", lambda hs=hs: hs.active
-            )
-            gauge(
-                f"{host_id}.scheduler.queued", lambda hs=hs: hs.queued
-            )
-            gauge(
-                f"{host_id}.scheduler.idle_vms",
-                lambda hs=hs: len(hs.idle),
-            )
-            gauge(
-                f"{host_id}.scheduler.memory_mb",
-                lambda hs=hs: hs.memory_mb,
-            )
-            self._hosts.append(hs)
+            self._hosts.append(self._make_host_state(index))
+
+    def _make_host_state(self, index: int) -> _HostState:
+        """One host plus its bookkeeping and gauges — used both at
+        construction and when the live service adds a host mid-run."""
+        config = self.config
+        host = Host(
+            self.env,
+            config=config.platform,
+            host_id=self._host_id(index),
+            store=self._shared_store,
+        )
+        hs = _HostState(index, host, config)
+        if self._shared_store is not None:
+            # One volume: a snapshot captured anywhere restores
+            # anywhere.
+            hs.snapshots = self._shared_snapshots
+        if self._run_tracer is not None:
+            hs.tracer = self._run_tracer.tagged(host=host.host_id)
+        gauge = self.registry.gauge
+        host_id = host.host_id
+        gauge(
+            f"{host_id}.scheduler.active", lambda hs=hs: hs.active
+        )
+        gauge(
+            f"{host_id}.scheduler.queued", lambda hs=hs: hs.queued
+        )
+        gauge(
+            f"{host_id}.scheduler.idle_vms",
+            lambda hs=hs: len(hs.idle),
+        )
+        gauge(
+            f"{host_id}.scheduler.memory_mb",
+            lambda hs=hs: hs.memory_mb,
+        )
+        return hs
 
     def _record_plan(self) -> List[Policy]:
         """Record-phase policies needed per function: every start kind
@@ -508,12 +548,21 @@ class ClusterSimulator(ClusterScheduler):
         for hs in self._hosts:
             hs.host.drop_caches()
 
-    # -- serving -------------------------------------------------------
+    # -- serving core --------------------------------------------------
+    #
+    # The historical inline ``_driver(trace)`` loop is gone: the
+    # :class:`~repro.service.core.ClusterService` pump owns the loop
+    # and calls these three hooks, which carry its exact per-arrival
+    # body. Splitting here (epoch start / one dispatch / epoch stop)
+    # is what lets the same serving core run both the canned batch
+    # replay and the incremental command-driven mode.
 
-    def _driver(self, trace: ArrivalTrace) -> Generator[Event, Any, None]:
-        env = self.env
-        yield from self._prepare()
-        prep_end = env.now
+    def _start_serving_epoch(self) -> float:
+        """Transition from prep to serving: stamp the epoch, arm the
+        fault injector against it, start the health monitor. Returns
+        the epoch instant (arrival ``time_us`` values are relative to
+        it)."""
+        prep_end = self.env.now
         self._report.prep_us = prep_end
         if self.injector is not None:
             # Fault times are relative to the serving epoch, so a
@@ -521,35 +570,163 @@ class ClusterSimulator(ClusterScheduler):
             self.injector.arm(self, epoch_us=prep_end)
         if self.monitor is not None:
             self.monitor.start()
+        return prep_end
+
+    def _dispatch_arrival(
+        self, arrival: Arrival, instant: float, processes: List[Any]
+    ):
+        """Place and launch one arrival at the current instant — the
+        verbatim per-arrival body of the old driver loop. The serve
+        path is chosen per dispatch (not hoisted) so a live ``arm``
+        command flips subsequent arrivals onto the robust path."""
+        env = self.env
+        for hs in self._hosts:
+            self._evict_expired(hs, env.now)
+        index = self._placement.choose(self._hosts, arrival.function)
+        hs = self._hosts[index]
+        # Count the placement immediately — the serve process only
+        # starts after the driver yields, and same-instant arrivals
+        # must see each other's load.
+        hs.queued += 1
         serve = self._serve_robust if self._armed else self._serve
-        processes = []
-        for arrival in trace.arrivals:
-            instant = prep_end + arrival.time_us
-            if env.now < instant:
-                yield env.wake_at(instant)
-            for hs in self._hosts:
-                self._evict_expired(hs, env.now)
-            index = self._placement.choose(self._hosts, arrival.function)
-            hs = self._hosts[index]
-            # Count the placement immediately — the serve process only
-            # starts after the driver yields, and same-instant arrivals
-            # must see each other's load.
-            hs.queued += 1
-            processes.append(
-                env.process(
-                    serve(hs, arrival, instant),
-                    name=f"serve:{arrival.function}@{hs.host.host_id}",
-                )
-            )
-            # Sampled at each arrival, before its VM reserves memory —
-            # in-use memory across all hosts.
-            self._report.memory_samples_mb.append(
-                sum(h.memory_mb for h in self._hosts)
-            )
-        if processes:
-            yield env.all_of(processes)
+        proc = env.process(
+            serve(hs, arrival, instant),
+            name=f"serve:{arrival.function}@{hs.host.host_id}",
+        )
+        processes.append(proc)
+        # Sampled at each arrival, before its VM reserves memory —
+        # in-use memory across all hosts.
+        self._report.memory_samples_mb.append(
+            sum(h.memory_mb for h in self._hosts)
+        )
+        return proc
+
+    def _stop_serving_epoch(self) -> None:
+        """Tear down the serving epoch's periodic machinery."""
         if self.monitor is not None:
             self.monitor.stop()
+
+    # -- live-service control operations -------------------------------
+    #
+    # Everything below mutates a *running* simulation between event
+    # dispatches; the service core exposes each as a journaled
+    # command. None of them are reachable from the batch path, so the
+    # legacy event schedule cannot be perturbed.
+
+    def arm_fault_plan(self, plan: Optional[FaultPlan]) -> FaultInjector:
+        """Arm ``plan`` mid-run (fault times relative to *now*),
+        upgrading an unarmed run to the robust serving path first.
+        A previously armed plan is disarmed; in-flight invocations
+        that started on the legacy path finish on it, new dispatches
+        take the robust path."""
+        self._install_robust_machinery()
+        self._armed = True
+        if self.injector is not None:
+            self.injector.disarm()
+        self.injector = FaultInjector(self.env, plan)
+        self.injector.arm(self, epoch_us=self.env.now)
+        return self.injector
+
+    def disarm_faults(self) -> None:
+        """Cancel pending faults and revoke open degradation windows
+        (see :meth:`FaultInjector.disarm`). The robust serving path
+        stays on — it is behaviour-identical with no active faults."""
+        if self.injector is not None:
+            self.injector.disarm()
+
+    def swap_placement(self, name: str) -> None:
+        """Hot-swap the placement policy to a fresh ``name`` instance
+        (the health-filter and counting wrappers stay in place)."""
+        self._hot_placement.swap(name)
+        self.config = dataclasses.replace(self.config, placement=name)
+        self._report.placement = name
+
+    def set_keepalive(self, ttl_us: float) -> None:
+        """Change the keep-alive TTL for all future parking/eviction
+        decisions (already-parked VMs are re-judged against the new
+        TTL at the next eviction sweep)."""
+        if ttl_us < 0:
+            raise ValueError("keep-alive TTL must be >= 0")
+        self.config = dataclasses.replace(
+            self.config, keep_alive_ttl_us=ttl_us
+        )
+
+    def add_host_live(self) -> _HostState:
+        """Grow the cluster by one host at the current instant.
+
+        On the shared-storage tier the new host adopts every recorded
+        artefact immediately (the files live on the shared volume) and
+        enters rotation at once. On the local tier it must run its own
+        record phases first, so it joins *drained* and a background
+        process preps it, un-draining when done."""
+        index = len(self._hosts)
+        hs = self._make_host_state(index)
+        self._hosts.append(hs)
+        self._host_by_id[hs.host.host_id] = hs
+        placement = self._placement
+        if isinstance(placement, CountingPlacement):
+            placement.add_host(hs.host.host_id)
+        if self.monitor is not None:
+            self.monitor.states.append(hs)
+        config = self.config
+        if self._shared_store is not None and index > 0:
+            donor = self._hosts[0].host
+            for fleet_fn in self.fleet:
+                for policy in self._record_plan():
+                    artifacts = donor.cached_artifacts(
+                        fleet_fn.name, config.record_input, policy
+                    )
+                    if artifacts is not None:
+                        hs.host.adopt_artifacts(
+                            config.record_input, artifacts
+                        )
+            return hs
+        hs.drained = True
+        hs.healthy = False
+
+        def _prep_new_host() -> Generator[Event, Any, None]:
+            for fleet_fn in self.fleet:
+                profile = self._profiles[fleet_fn.name]
+                for policy in self._record_plan():
+                    yield from hs.host.record_process(
+                        profile, config.record_input, policy
+                    )
+            hs.host.drop_caches()
+            hs.drained = False
+            hs.healthy = True
+
+        self.env.process(
+            _prep_new_host(), name=f"prep:{hs.host.host_id}"
+        )
+        return hs
+
+    def drain_host_live(self, host_id: str) -> int:
+        """Take ``host_id`` out of rotation: placement stops choosing
+        it and its keep-alive pool is evicted. In-flight invocations
+        finish. Returns the number of VMs evicted."""
+        hs = self._host_by_id[host_id]
+        hs.drained = True
+        hs.healthy = False
+        evicted = 0
+        while True:
+            vm = hs.idle.pop_lru()
+            if vm is None:
+                break
+            hs.memory_mb -= vm.memory_mb
+            hs.stats.evictions += 1
+            self._report.evictions += 1
+            self._ctr_evictions.value += 1
+            evicted += 1
+        return evicted
+
+    def undrain_host_live(self, host_id: str) -> None:
+        """Return a drained host to rotation (unless it is crashed,
+        in which case it stays unhealthy until reboot)."""
+        hs = self._host_by_id[host_id]
+        hs.drained = False
+        if not hs.host.crashed:
+            hs.healthy = True
+            hs.error_times.clear()
 
     def _evict_expired(self, hs: _HostState, now: float) -> None:
         for vm in hs.idle.pop_expired(now, self.config.keep_alive_ttl_us):
@@ -1087,7 +1264,7 @@ class ClusterSimulator(ClusterScheduler):
         hs.host.reboot()
         hs.error_times.clear()
         hs.last_bad_us = self.env.now
-        if self.monitor is None:
+        if self.monitor is None and not hs.drained:
             hs.healthy = True
 
     def _snapshot_start(

@@ -66,37 +66,32 @@ def _read_chunk(
 ) -> Generator[Event, Any, None]:
     """Read one contiguous file chunk, publishing pending state so
     concurrent guest faults wait on it."""
-    fresh = [
-        page
-        for page in range(start, start + npages)
-        if not cache.peek(file.name, page)
-        and cache.pending_event(file.name, page) is None
-    ]
+    # One interval computation instead of a per-page residency +
+    # pending probe: ``fresh`` is the ascending list of sub-ranges the
+    # chunk still has to read.
+    fresh = cache.missing_ranges(file.name, start, npages)
     if not fresh:
         return
-    for page in fresh:
-        cache.begin_pending(file.name, page)
+    for run_start, run_end in fresh:
+        cache.note_pending_range(file.name, run_start, run_end - run_start)
     before_requests = file.device.stats.requests
     before_bytes = file.device.stats.bytes_read
     try:
         yield from file.read(start, npages)
     except BaseException:
-        for page in fresh:
-            cache.abandon_pending(file.name, page)
+        for run_start, run_end in fresh:
+            cache.abandon_pending_range(
+                file.name, run_start, run_end - run_start
+            )
         raise
-    # Insert contiguous runs of fresh pages in one range operation
-    # each: ``fresh`` is ascending, so pending completions and the
-    # insertion log keep the exact per-page order.
-    run_start = fresh[0]
-    run_end = run_start + 1
-    for page in fresh[1:]:
-        if page == run_end:
-            run_end += 1
-        else:
-            cache.insert_range(file.name, run_start, run_end - run_start)
-            run_start, run_end = page, page + 1
-    cache.insert_range(file.name, run_start, run_end - run_start)
-    stats.pages_fetched += len(fresh)
+    # Insert each fresh run in one range operation: runs are ascending,
+    # so pending completions and the insertion log keep the exact
+    # per-page order the per-page loop produced.
+    fetched = 0
+    for run_start, run_end in fresh:
+        cache.insert_range(file.name, run_start, run_end - run_start)
+        fetched += run_end - run_start
+    stats.pages_fetched += fetched
     stats.requests += file.device.stats.requests - before_requests
     stats.bytes_read += file.device.stats.bytes_read - before_bytes
 

@@ -56,6 +56,21 @@ def build_faasnap_plan(
     """
     if (loading_set is None) != (loading_file is None):
         raise ValueError("loading_set and loading_file go together")
+    # Snapshot contents are immutable after capture and the plan is
+    # read-only when applied, so the (identical) plan every restore of
+    # the same artefacts would rebuild — a full nonzero-page scan plus
+    # run merging — is memoized on the snapshot.
+    key = (
+        loading_file.name if loading_file is not None else None,
+        nonzero_merge_gap,
+    )
+    cache = getattr(snapshot, "_plan_cache", None)
+    if cache is None:
+        cache = {}
+        snapshot._plan_cache = cache
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
     plan = MappingPlan()
     plan.add_anonymous(0, snapshot.num_pages)
     for start, npages in nonzero_regions(
@@ -67,4 +82,5 @@ def build_faasnap_plan(
             plan.add_file(
                 region.start, region.npages, loading_file, region.file_offset
             )
+    cache[key] = plan
     return plan

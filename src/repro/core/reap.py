@@ -126,7 +126,7 @@ def make_reap_fault_handler(
             return 0, now + _CACHED_PREAD_US, None
         if cache.contains(memory_file.name, page):
             return memory_file.page_value(page), now + _CACHED_PREAD_US, None
-        if cache.pending_event(memory_file.name, page) is not None:
+        if cache.has_pending(memory_file.name, page):
             return None
         plan = plan_uncontended_read(readahead, memory_file, cache, page, now)
         if plan is None:

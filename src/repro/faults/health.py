@@ -99,6 +99,11 @@ class HealthMonitor:
     # -- evaluation ----------------------------------------------------
 
     def _evaluate(self, state: Any) -> None:
+        if getattr(state, "drained", False):
+            # Operator-drained hosts are out of rotation by decree;
+            # the monitor must not reintegrate them however clean they
+            # look. ``undrain`` flips the bit back.
+            return
         now = self.env.now
         cutoff = now - self.policy.window_us
         errors = state.error_times

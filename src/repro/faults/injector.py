@@ -22,10 +22,10 @@ the mark (detection triggers repair/re-fetch).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, Optional, Set, Tuple
+from typing import Any, Dict, Generator, List, Optional, Set, Tuple
 
 from repro.faults.plan import FaultPlan
-from repro.sim import Environment, Event
+from repro.sim import Environment, Event, Interrupt
 from repro.storage.device import Degradation
 
 
@@ -37,6 +37,16 @@ class FaultInjector:
         self.plan = plan if plan is not None else FaultPlan.empty()
         self._corrupted: Set[Tuple[str, str]] = set()
         self._armed = False
+        self._disarmed = False
+        #: Spawned fault processes plus a per-process mutable flag dict
+        #: (``keep`` marks a process whose destructive half already
+        #: fired but whose *recovery* half — a pending reboot — must
+        #: survive a disarm).
+        self._procs: List[Tuple[Any, Dict[str, bool]]] = []
+        #: Degradation windows currently pushed onto devices, as
+        #: mutable ``[devices, degradation]`` entries shared with the
+        #: window processes so either side can close a window once.
+        self._open_windows: List[list] = []
         # Plain ints on the hot side; exported as pull counters.
         self.device_windows_opened = 0
         self.device_windows_closed = 0
@@ -44,6 +54,11 @@ class FaultInjector:
         self.host_reboots = 0
         self.corruptions_marked = 0
         self.corruptions_detected = 0
+
+    @property
+    def armed(self) -> bool:
+        """True between :meth:`arm` and :meth:`disarm`."""
+        return self._armed and not self._disarmed
 
     # -- arming --------------------------------------------------------
 
@@ -59,20 +74,57 @@ class FaultInjector:
             return
         epoch = self.env.now if epoch_us is None else epoch_us
         for fault in self.plan.device_faults:
-            self.env.process(
+            self._spawn(
                 self._device_window(target, fault, epoch),
-                name=f"fault.device.{fault.scope}",
+                f"fault.device.{fault.scope}",
             )
         for crash in self.plan.host_crashes:
-            self.env.process(
-                self._crash(target, crash, epoch),
-                name=f"fault.crash.{crash.host}",
+            cell: Dict[str, bool] = {}
+            self._spawn(
+                self._crash(target, crash, epoch, cell),
+                f"fault.crash.{crash.host}",
+                cell,
             )
         for corruption in self.plan.corruptions:
-            self.env.process(
+            self._spawn(
                 self._corrupt(corruption, epoch),
-                name=f"fault.corrupt.{corruption.host}",
+                f"fault.corrupt.{corruption.host}",
             )
+
+    def _spawn(self, generator, name: str, cell=None) -> None:
+        proc = self.env.process(generator, name=name)
+        self._procs.append((proc, cell if cell is not None else {}))
+
+    def disarm(self) -> None:
+        """Cancel every fault that has not happened yet and revoke
+        every degradation window still open.
+
+        Already-applied state is handled by intent: open device
+        windows close now (the operator asked for the storm to stop),
+        latent corruption marks clear (they never became observable),
+        but a crashed host's *pending reboot* still runs — killing the
+        recovery half of a transient crash would strand the host dead
+        forever, which is not what "stop injecting faults" means.
+        Idempotent; a no-op before :meth:`arm`."""
+        if not self.armed:
+            return
+        self._disarmed = True
+        for proc, cell in self._procs:
+            if proc.is_alive and not cell.get("keep", False):
+                proc.interrupt("fault plan disarmed")
+        self._procs.clear()
+        for entry in list(self._open_windows):
+            self._close_window(entry)
+        self._corrupted.clear()
+
+    def _close_window(self, entry: list) -> None:
+        if entry not in self._open_windows:
+            return
+        self._open_windows.remove(entry)
+        devices, degradation = entry
+        for device in devices:
+            device.pop_degradation(degradation)
+        self.device_windows_closed += 1
 
     def _register_metrics(self) -> None:
         registry = getattr(self.env, "metrics", None)
@@ -123,21 +175,29 @@ class FaultInjector:
         for device in devices:
             device.push_degradation(degradation)
         self.device_windows_opened += 1
+        entry = [devices, degradation]
+        self._open_windows.append(entry)
         if fault.duration_us is None:
             return
-        yield self.env.timeout(fault.duration_us)
-        for device in devices:
-            device.pop_degradation(degradation)
-        self.device_windows_closed += 1
+        try:
+            yield self.env.timeout(fault.duration_us)
+        except Interrupt:
+            # Disarm revokes the window synchronously via
+            # ``_close_window``; nothing left to do here.
+            return
+        self._close_window(entry)
 
     def _crash(
-        self, target: Any, crash, epoch: float
+        self, target: Any, crash, epoch: float, cell: Dict[str, bool]
     ) -> Generator[Event, Any, None]:
         yield self.env.timeout(max(0.0, epoch + crash.at_us - self.env.now))
         target.crash_host(crash.host)
         self.host_crashes += 1
         if crash.reboot_after_us is None:
             return
+        # The crash fired: from here the process is a pending reboot,
+        # which a disarm must let run (see ``disarm``).
+        cell["keep"] = True
         yield self.env.timeout(crash.reboot_after_us)
         target.reboot_host(crash.host)
         self.host_reboots += 1

@@ -536,7 +536,7 @@ class FaultHandler:
         # than the per-event path would have produced it.
         if self.cache.capacity_pages is not None:
             return None
-        if self.cache.pending_event(file.name, file_page) is not None:
+        if self.cache.has_pending(file.name, file_page):
             # Wait on the in-flight read: inherently event-driven.
             return None
         plan = plan_uncontended_read(

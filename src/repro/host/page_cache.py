@@ -40,6 +40,13 @@ from repro.sim import Environment, Event, SimulationError
 
 PageKey = Tuple[str, int]
 
+#: Placeholder for an in-flight read nobody waits on yet. The pending
+#: map stores this instead of an :class:`Event` until the first waiter
+#: asks for the event (``pending_event``), so bulk loaders and
+#: readahead windows never allocate events — or schedule no-callback
+#: completions — for the overwhelmingly common uncontended case.
+_PENDING_PLACEHOLDER = object()
+
 
 class _IntervalRuns:
     """Sorted, disjoint, non-adjacent half-open runs of page indices."""
@@ -54,6 +61,28 @@ class _IntervalRuns:
     def contains(self, page: int) -> bool:
         index = bisect_right(self.starts, page) - 1
         return index >= 0 and page < self.ends[index]
+
+    def gaps_in(self, start: int, end: int) -> List[Tuple[int, int]]:
+        """Sub-ranges of ``[start, end)`` *not* covered by any run, in
+        ascending order. The complement of residency — what a loader
+        still has to read."""
+        starts, ends = self.starts, self.ends
+        cursor = start
+        index = bisect_right(starts, start) - 1
+        if index >= 0 and start < ends[index]:
+            cursor = ends[index]
+        index += 1
+        gaps: List[Tuple[int, int]] = []
+        n = len(starts)
+        while cursor < end and index < n and starts[index] < end:
+            if starts[index] > cursor:
+                gaps.append((cursor, starts[index]))
+            if ends[index] > cursor:
+                cursor = ends[index]
+            index += 1
+        if cursor < end:
+            gaps.append((cursor, end))
+        return gaps
 
     def add_range(self, start: int, end: int) -> List[Tuple[int, int]]:
         """Mark ``[start, end)`` resident.
@@ -126,7 +155,9 @@ class PageCache:
         self._present: "OrderedDict[PageKey, None]" = OrderedDict()
         #: Unbounded mode storage: file name -> interval runs.
         self._runs: Dict[str, _IntervalRuns] = {}
-        self._pending: Dict[PageKey, Event] = {}
+        #: In-flight reads: value is an :class:`Event` once somebody
+        #: waits, else :data:`_PENDING_PLACEHOLDER`.
+        self._pending: Dict[PageKey, object] = {}
         self.insertions = 0
         self.evictions = 0
         #: Append-only per-file log of page insertions, in insertion
@@ -220,12 +251,19 @@ class PageCache:
                 )
                 for key in hits:
                     pending = pending_map.pop(key)
-                    if not pending.triggered:
+                    if (
+                        pending is not _PENDING_PLACEHOLDER
+                        and not pending.triggered
+                    ):
                         pending.succeed()
             else:
                 for page in range(start_page, end_page):
                     pending = pending_map.pop((file_name, page), None)
-                    if pending is not None and not pending.triggered:
+                    if (
+                        pending is not None
+                        and pending is not _PENDING_PLACEHOLDER
+                        and not pending.triggered
+                    ):
                         pending.succeed()
         runs = self._runs.get(file_name)
         if runs is None:
@@ -241,7 +279,11 @@ class PageCache:
     def _insert_lru(self, file_name: str, page_index: int) -> None:
         key = (file_name, page_index)
         pending = self._pending.pop(key, None)
-        if pending is not None and not pending.triggered:
+        if (
+            pending is not None
+            and pending is not _PENDING_PLACEHOLDER
+            and not pending.triggered
+        ):
             pending.succeed()
         if key in self._present:
             self._present.move_to_end(key)
@@ -265,22 +307,67 @@ class PageCache:
         if self.peek(file_name, page_index):
             raise SimulationError(f"begin_pending on resident page {key}")
         existing = self._pending.get(key)
-        if existing is not None:
+        if existing is not None and existing is not _PENDING_PLACEHOLDER:
             return existing
         event = Event(self.env)
         self._pending[key] = event
         return event
 
+    def note_pending_range(
+        self, file_name: str, start_page: int, npages: int
+    ) -> None:
+        """Announce in-flight reads for ``npages`` consecutive pages
+        without allocating completion events. A fault arriving while
+        the read is in flight materializes the event on demand via
+        :meth:`pending_event`; pages nobody waits on complete silently
+        (no event ever enters the heap). Pages already pending are
+        left untouched — in particular a materialized event must
+        survive (a waiter holds it; clobbering it with a placeholder
+        would strand the waiter forever). Duplicate announcements
+        happen: a readahead window always includes its faulting page,
+        and two faults on that page can both pass their pending check
+        before either announces (the check and the announcement are
+        separated by the major-fault overhead timeout)."""
+        pending = self._pending
+        for page in range(start_page, start_page + npages):
+            key = (file_name, page)
+            if key not in pending:
+                pending[key] = _PENDING_PLACEHOLDER
+
+    def has_pending(self, file_name: str, page_index: int) -> bool:
+        """True if an in-flight read covers the page. Unlike
+        :meth:`pending_event` this never materializes an event — use
+        it for check-only probes."""
+        return (file_name, page_index) in self._pending
+
     def pending_event(self, file_name: str, page_index: int) -> Optional[Event]:
-        """The in-flight read event for the page, if any."""
-        return self._pending.get((file_name, page_index))
+        """The in-flight read event for the page, if any (materialized
+        on demand for placeholder entries)."""
+        key = (file_name, page_index)
+        existing = self._pending.get(key)
+        if existing is _PENDING_PLACEHOLDER:
+            existing = Event(self.env)
+            self._pending[key] = existing
+        return existing
 
     def abandon_pending(self, file_name: str, page_index: int) -> None:
         """Cancel a pending read that failed (fires the event so
         waiters re-check residency and retry)."""
         event = self._pending.pop((file_name, page_index), None)
-        if event is not None and not event.triggered:
+        if (
+            event is not None
+            and event is not _PENDING_PLACEHOLDER
+            and not event.triggered
+        ):
             event.succeed()
+
+    def abandon_pending_range(
+        self, file_name: str, start_page: int, npages: int
+    ) -> None:
+        """Cancel pending reads for ``npages`` consecutive pages, in
+        ascending page order."""
+        for page in range(start_page, start_page + npages):
+            self.abandon_pending(file_name, page)
 
     def abandon_all_pending(self) -> int:
         """Fire-and-forget every pending read (host crash teardown).
@@ -293,9 +380,54 @@ class PageCache:
         if count:
             pending, self._pending = self._pending, {}
             for event in pending.values():
-                if not event.triggered:
+                if event is not _PENDING_PLACEHOLDER and not event.triggered:
                     event.succeed()
         return count
+
+    def missing_ranges(
+        self, file_name: str, start_page: int, npages: int
+    ) -> List[Tuple[int, int]]:
+        """Ascending sub-ranges of ``[start_page, start_page+npages)``
+        that are neither resident nor pending — exactly the pages a
+        loader chunk still has to read. One interval computation
+        replaces the per-page ``peek`` + ``pending_event`` probe loop
+        on the restore hot path."""
+        end_page = start_page + npages
+        if self._unbounded:
+            runs = self._runs.get(file_name)
+            if runs is None:
+                gaps = [(start_page, end_page)]
+            else:
+                gaps = runs.gaps_in(start_page, end_page)
+        else:
+            present = self._present
+            gaps = []
+            run_start: Optional[int] = None
+            for page in range(start_page, end_page):
+                if (file_name, page) in present:
+                    if run_start is not None:
+                        gaps.append((run_start, page))
+                        run_start = None
+                elif run_start is None:
+                    run_start = page
+            if run_start is not None:
+                gaps.append((run_start, end_page))
+        pending = self._pending
+        if not pending or not gaps:
+            return gaps
+        out: List[Tuple[int, int]] = []
+        for gap_start, gap_end in gaps:
+            run_start = None
+            for page in range(gap_start, gap_end):
+                if (file_name, page) in pending:
+                    if run_start is not None:
+                        out.append((run_start, page))
+                        run_start = None
+                elif run_start is None:
+                    run_start = page
+            if run_start is not None:
+                out.append((run_start, gap_end))
+        return out
 
     def drop_file(self, file_name: str) -> int:
         """Evict every resident page of ``file_name`` (drop_caches for

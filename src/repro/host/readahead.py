@@ -112,13 +112,14 @@ class ReadaheadPolicy:
         pages into the cache, and returns the number of pages read.
         """
         pages = self.window(file, cache, fault_page)
-        for page in pages:
-            cache.begin_pending(file.name, page)
+        # The window is contiguous and was trimmed at the first
+        # resident/in-flight page, so one placeholder range announces
+        # it without allocating per-page events.
+        cache.note_pending_range(file.name, pages[0], len(pages))
         try:
             yield from file.read(pages[0], len(pages))
         except BaseException:
-            for page in pages:
-                cache.abandon_pending(file.name, page)
+            cache.abandon_pending_range(file.name, pages[0], len(pages))
             raise
         # The window is contiguous: one range insertion instead of a
         # per-page loop (completes the pending reads identically).

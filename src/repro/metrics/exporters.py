@@ -175,6 +175,71 @@ def merge_shard_snapshots(
     return merged
 
 
+#: Version tag for incremental delta documents.
+DELTA_SCHEMA = "repro.telemetry-delta/1"
+
+
+class DeltaExporter:
+    """Incremental registry export: each :meth:`delta` call returns
+    only what changed since the previous call.
+
+    Counters and histograms report *increments* (monotonic streams, so
+    a consumer sums deltas to recover totals); gauges are
+    instantaneous and always report their current value. Keys are
+    sorted and unchanged counters/histograms are omitted, so the
+    document is canonical: two identical runs snapshotting at the same
+    virtual instants produce byte-identical delta streams — the
+    property the service journal's telemetry digests pin.
+    """
+
+    def __init__(self, registry: MetricsRegistry):
+        self.registry = registry
+        self._sequence = 0
+        self._last_counters: Dict[str, Any] = {}
+        self._last_histograms: Dict[str, Any] = {}
+
+    def delta(self, now_us: Optional[float] = None) -> Dict[str, Any]:
+        self._sequence += 1
+        doc: Dict[str, Any] = {
+            "schema": DELTA_SCHEMA,
+            "sequence": self._sequence,
+        }
+        if now_us is not None:
+            doc["virtual_time_us"] = now_us
+        counters: Dict[str, Any] = {}
+        for name, inst in self.registry.counters():
+            value = inst.read()
+            previous = self._last_counters.get(name, 0)
+            if value != previous:
+                counters[name] = value - previous
+            self._last_counters[name] = value
+        gauges: Dict[str, Any] = {
+            name: inst.read() for name, inst in self.registry.gauges()
+        }
+        histograms: Dict[str, Any] = {}
+        for name, inst in self.registry.histograms():
+            histogram = inst.histogram
+            counts = list(histogram.counts)
+            state = (counts, histogram.total, inst.sum)
+            previous = self._last_histograms.get(name)
+            if previous is None:
+                previous = ([0] * len(counts), 0, 0.0)
+            if state[1] != previous[1] or state[2] != previous[2]:
+                histograms[name] = {
+                    "edges": list(histogram.edges),
+                    "counts": [
+                        a - b for a, b in zip(counts, previous[0])
+                    ],
+                    "count": state[1] - previous[1],
+                    "sum": state[2] - previous[2],
+                }
+            self._last_histograms[name] = state
+        doc["counters"] = dict(sorted(counters.items()))
+        doc["gauges"] = dict(sorted(gauges.items()))
+        doc["histograms"] = dict(sorted(histograms.items()))
+        return doc
+
+
 #: Version tag for the serving-report document.
 REPORT_SCHEMA = "repro.fleet-report/1"
 

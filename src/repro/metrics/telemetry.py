@@ -445,7 +445,19 @@ class Sampler:
         self._proc = self.env.process(self._run(), name="telemetry.sampler")
 
     def stop(self) -> None:
+        """Stop polling, flushing a final sample at the stop horizon.
+
+        Virtual time usually halts between ticks; without the flush
+        the last partial window would be dropped and gauges read at
+        the stop instant would never appear in the series. The flush
+        is a synchronous read — no event enters the heap, so it
+        cannot perturb the simulation.
+        """
         self._stopped = True
+        if self._proc is not None and (
+            not self.samples or self.samples[-1][0] < self.env.now
+        ):
+            self.sample()
 
     # -- queries -------------------------------------------------------
 
@@ -532,7 +544,10 @@ class HostTelemetry:
         self.uffd_delegated = counter(f"{root}.uffd.delegated_faults")
         self.invocations = counter(f"{root}.invocations")
         self.record_phases = counter(f"{root}.record_phases")
-        self._fault_counters: Dict[str, Counter] = {}
+        #: FaultKind -> (counter, profiler label), keyed by enum
+        #: identity to skip the DynamicClassAttribute ``.value`` read
+        #: and the label f-string on the per-invocation absorb path.
+        self._fault_counters: Dict[Any, Tuple[Counter, str]] = {}
 
     def absorb_fault_records(self, records) -> None:
         """Fold one invocation's fault records into the host's
@@ -543,30 +558,47 @@ class HostTelemetry:
         MAJOR fault with none waited on another thread's in-flight
         read (the shared-wait path of paper §6.5/§6.6).
         """
+        from repro.host.fault import FaultKind
+
         counters = self._fault_counters
         observe = self.fault_time.observe
-        profiler_add = self.profiler.add
+        none_kind = FaultKind.NONE
+        minor_kind = FaultKind.MINOR
+        major_kind = FaultKind.MAJOR
+        # Batch per kind: one counter bump and one profiler charge per
+        # kind instead of per record. The histogram still observes each
+        # duration individually (bucket counts are order-independent).
+        totals: Dict[FaultKind, List[float]] = {}
         hits = misses = shared = 0
         for record in records:
-            kind = record.kind.value
-            if kind == "none":
+            kind = record.kind
+            if kind is none_kind:
                 continue
-            ctr = counters.get(kind)
-            if ctr is None:
-                ctr = counters[kind] = self.registry.counter(
-                    f"{self.root}.fault.{kind}"
-                )
-            ctr.value += 1
             duration = record.duration_us
             observe(duration)
-            profiler_add(f"fault.{kind}", duration)
-            if kind == "minor":
+            agg = totals.get(kind)
+            if agg is None:
+                totals[kind] = [1, duration]
+            else:
+                agg[0] += 1
+                agg[1] += duration
+            if kind is minor_kind:
                 hits += 1
-            elif kind == "major":
+            elif kind is major_kind:
                 if record.block_requests > 0:
                     misses += 1
                 else:
                     shared += 1
+        for kind, (count, total_us) in totals.items():
+            entry = counters.get(kind)
+            if entry is None:
+                entry = counters[kind] = (
+                    self.registry.counter(f"{self.root}.fault.{kind.value}"),
+                    f"fault.{kind.value}",
+                )
+            ctr, label = entry
+            ctr.value += count
+            self.profiler.add(label, total_us, count)
         self.cache_hits.value += hits
         self.cache_misses.value += misses
         self.cache_shared_waits.value += shared

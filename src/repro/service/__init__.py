@@ -1,0 +1,83 @@
+"""Live service mode: the command-driven cluster control plane.
+
+The batch :class:`~repro.cluster.scheduler.ClusterSimulator` answers
+"serve this whole trace, then hand me the report". This package turns
+the same serving core into a *service*: a
+:class:`~repro.service.core.ClusterService` owns an incrementally
+advanced simulation, consumes arrivals from a streaming
+:class:`~repro.fleet.workload.ArrivalSource` instead of an in-memory
+trace, and executes a typed command stream — advance virtual time,
+inject arrivals, grow/drain hosts, hot-swap placement, arm/disarm
+fault plans, retune keep-alive, snapshot telemetry deltas.
+
+Every state-changing command is logged to a JSON-lines *journal*
+(:mod:`~repro.service.journal`) carrying a digest of simulation state
+after the command; replaying a journal re-executes the stream and
+must reproduce every digest bit-for-bit — the service's determinism
+contract. The legacy batch entry point is re-expressed on top: one
+canned command stream (inject everything, drain), bit-identical to
+the historical inline driver loop.
+
+``python -m repro serve`` drives a service from a script file or an
+interactive REPL; see ``docs/service.md`` for the operator cookbook.
+"""
+
+from repro.service.commands import (
+    AddHostCommand,
+    AdvanceCommand,
+    ArmCommand,
+    Command,
+    CommandError,
+    DisarmCommand,
+    DrainCommand,
+    DrainHostCommand,
+    InjectCommand,
+    SetKeepaliveCommand,
+    SnapshotTelemetryCommand,
+    StatusCommand,
+    SwapPlacementCommand,
+    UndrainHostCommand,
+    command_from_dict,
+    parse_command,
+)
+from repro.service.core import (
+    ClusterService,
+    ServiceError,
+    build_service,
+    normalize_spec,
+    replay_journal,
+)
+from repro.service.journal import (
+    JOURNAL_SCHEMA,
+    JournalError,
+    JournalWriter,
+    read_journal,
+)
+
+__all__ = [
+    "AddHostCommand",
+    "AdvanceCommand",
+    "ArmCommand",
+    "ClusterService",
+    "Command",
+    "CommandError",
+    "DisarmCommand",
+    "DrainCommand",
+    "DrainHostCommand",
+    "InjectCommand",
+    "JOURNAL_SCHEMA",
+    "JournalError",
+    "JournalWriter",
+    "ServiceError",
+    "SetKeepaliveCommand",
+    "SnapshotTelemetryCommand",
+    "StatusCommand",
+    "SwapPlacementCommand",
+    "UndrainHostCommand",
+    "build_service",
+    "command_from_dict",
+    "normalize_spec",
+    "parse_command",
+    "read_journal",
+    "replay_journal",
+]

@@ -183,3 +183,87 @@ def test_interleaved_resources_and_timeouts_deterministic():
     assert [tag for tag, _ in order] == ["a", "b", "c", "d"]
     # c starts when b (the shorter holder) releases at t=3.
     assert dict(order)["c"] == 3.0
+
+
+# -- advance_to (the service core's incremental clock) -----------------
+
+
+def test_advance_to_zero_length_window_dispatches_same_instant_only():
+    env = Environment()
+    fired = []
+
+    def proc():
+        yield env.timeout(5)
+        fired.append(env.now)
+
+    env.process(proc())
+    # A zero-length window moves no time but does dispatch events
+    # already scheduled at the current instant — here the process
+    # start, which runs up to its first yield.
+    assert env.advance_to(env.now) == 1
+    assert env.now == 0.0
+    assert fired == []
+    # Nothing left at this instant: now it is a true no-op.
+    assert env.advance_to(env.now) == 0
+
+
+def test_advance_to_past_deadline_raises():
+    env = Environment()
+    env.advance_to(10.0)
+    assert env.now == 10.0
+    with pytest.raises(SimulationError):
+        env.advance_to(5.0)
+
+
+def test_advance_to_processes_events_exactly_on_horizon():
+    env = Environment()
+    fired = []
+
+    def proc(delay):
+        yield env.timeout(delay)
+        fired.append(env.now)
+
+    env.process(proc(10))
+    env.process(proc(20))
+    env.process(proc(20.0000001))
+    # An event landing exactly on the horizon fires inside this
+    # window, not the next one.
+    env.advance_to(20.0)
+    assert fired == [10.0, 20.0]
+    assert env.now == 20.0
+    env.advance_to(30.0)
+    assert fired == [10.0, 20.0, 20.0000001]
+
+
+def test_advance_to_sets_clock_even_with_no_events():
+    env = Environment()
+    assert env.advance_to(123.5) == 0
+    assert env.now == 123.5
+
+
+def test_advance_to_windows_chunking_invariant():
+    """The same workload advanced in one window or many lands on the
+    same clock, event count, and firing order."""
+
+    def build():
+        env = Environment()
+        fired = []
+
+        def proc(delay, tag):
+            yield env.timeout(delay)
+            fired.append((tag, env.now))
+
+        for i, delay in enumerate((3, 7, 7, 11, 29)):
+            env.process(proc(delay, i))
+        return env, fired
+
+    one_env, one_fired = build()
+    total = one_env.advance_to(40.0)
+
+    many_env, many_fired = build()
+    chunked = 0
+    for horizon in (1.0, 7.0, 7.0, 12.5, 40.0):
+        chunked += many_env.advance_to(horizon)
+    assert many_env.now == one_env.now
+    assert chunked == total
+    assert many_fired == one_fired

@@ -157,9 +157,15 @@ def test_sampler_polls_gauges_on_virtual_interval():
     env.run(until=env.process(driver()))
     sampler.stop()
     series = sampler.series("clock")
-    assert [t for t, _ in series] == pytest.approx([0.0, 10.0, 20.0, 30.0])
-    assert [v for _, v in series] == pytest.approx([0.0, 10.0, 20.0, 30.0])
-    assert sampler.values("clock") == pytest.approx([0.0, 10.0, 20.0, 30.0])
+    # Virtual time halted at 35.0, between ticks: stop() flushes one
+    # final sample at the stop horizon so the partial window survives.
+    expected = [0.0, 10.0, 20.0, 30.0, 35.0]
+    assert [t for t, _ in series] == pytest.approx(expected)
+    assert [v for _, v in series] == pytest.approx(expected)
+    assert sampler.values("clock") == pytest.approx(expected)
+    # A second stop() is idempotent — no duplicate flush.
+    sampler.stop()
+    assert len(sampler.samples) == len(expected)
 
 
 def test_sampler_percentile_nearest_rank():
