@@ -43,7 +43,17 @@ Sharded-cluster entries (PR 6):
   invocations/sec, and asserts the >= 3x shards=4 speedup when the
   box has >= 4 cores.
 * ``--check`` — the full regression gate: ``--smoke`` plus the
-  sharded parity smoke.
+  sharded parity smoke plus the observability smoke.
+
+Observability entry (PR 9):
+
+* ``--obs-smoke`` — byte-level gates for the observability plane:
+  the cluster workload with causal tracing + SLO monitoring + the
+  flight recorder all enabled must match the all-off run's
+  invocation count and latency checksum exactly (zero
+  perturbation), and an armed 4-host drill traced at ``shards=1``
+  and ``shards=2`` must serialize to byte-identical causal trace
+  documents (shard invariance).
 """
 
 from __future__ import annotations
@@ -111,7 +121,9 @@ def run_workload(cells) -> dict:
 CLUSTER_HOSTS = 4
 
 
-def run_cluster_workload(sampler_interval_us=None, fault_plan=None) -> dict:
+def run_cluster_workload(
+    sampler_interval_us=None, fault_plan=None, observability=False
+) -> dict:
     """Serve a dense fleet trace on the multi-host cluster scheduler.
 
     ``sampler_interval_us`` turns on the telemetry gauge sampler; the
@@ -121,6 +133,9 @@ def run_cluster_workload(sampler_interval_us=None, fault_plan=None) -> dict:
     the fault-injection machinery; the smoke gate passes an *empty*
     plan and requires the same bit-identical results — arming the
     fault plane must cost nothing when no fault fires.
+    ``observability`` attaches the full PR-9 plane — causal tracer,
+    SLO monitor, flight recorder — and extends the same contract:
+    everything on must still be bit-identical to everything off.
     """
     from repro.cluster import ClusterConfig, ClusterSimulator
     from repro.fleet.workload import generate_arrivals, synthesize_fleet
@@ -138,14 +153,26 @@ def run_cluster_workload(sampler_interval_us=None, fault_plan=None) -> dict:
         placement="least-loaded",
         keep_alive_ttl_us=30_000_000.0,
     )
+    causal = slo = flight = None
+    if observability:
+        from repro.metrics.causal import CausalTracer
+        from repro.metrics.flight import FlightRecorder
+        from repro.metrics.slo import SloMonitor
+
+        causal = CausalTracer()
+        slo = SloMonitor.default()
+        flight = FlightRecorder()
     started = time.perf_counter()
     report = ClusterSimulator(fleet, config).run(
         trace,
         sampler_interval_us=sampler_interval_us,
         fault_plan=fault_plan,
+        causal=causal,
+        slo=slo,
+        flight=flight,
     )
     elapsed = time.perf_counter() - started
-    return {
+    out = {
         "hosts": CLUSTER_HOSTS,
         "invocations": report.count(),
         "latency_checksum_us": round(
@@ -154,6 +181,11 @@ def run_cluster_workload(sampler_interval_us=None, fault_plan=None) -> dict:
         "wall_seconds": round(elapsed, 3),
         "invocations_per_sec": round(report.count() / elapsed, 2),
     }
+    if observability:
+        out["causal_events"] = len(causal.all_events())
+        out["slo_alerts"] = len(slo.alerts)
+        out["flight_recorded"] = flight.recorded
+    return out
 
 
 #: Restore-bookkeeping hot-path microbench (the ROADMAP's
@@ -395,6 +427,129 @@ def check_sharded_scale(shards, threshold, baseline=None) -> tuple:
     return status, metrics
 
 
+#: The observability smoke: an armed 4-host fleet slice dense enough
+#: to exercise crash, retry, and corruption events in the causal
+#: trace. Small — it gates byte-identity, not throughput.
+OBS_SMOKE_ARRIVALS = 60
+OBS_SMOKE_SHARDS = 2
+
+
+def _obs_smoke_inputs():
+    from repro.cluster import ClusterConfig
+    from repro.faults import FaultPlan, RecoveryPolicy
+    from repro.fleet.workload import Arrival, ArrivalTrace, FleetFunction
+
+    fleet = [
+        FleetFunction(
+            name=f"f{i}", profile_name="json", mean_interarrival_us=1e6
+        )
+        for i in range(3)
+    ]
+    arrivals = [
+        Arrival(time_us=i * 120_000.0, function=f"f{i % 3}")
+        for i in range(OBS_SMOKE_ARRIVALS)
+    ]
+    trace = ArrivalTrace(
+        arrivals=arrivals, duration_us=OBS_SMOKE_ARRIVALS * 120_000.0
+    )
+    plan = FaultPlan.from_dict(
+        {
+            "device_faults": [
+                {
+                    "scope": "*",
+                    "start_us": 500_000.0,
+                    "duration_us": 3_000_000.0,
+                    "latency_factor": 40.0,
+                    "error_rate": 0.6,
+                }
+            ],
+            "host_crashes": [
+                {
+                    "host": "host1",
+                    "at_us": 1_000_000.0,
+                    "reboot_after_us": 2_000_000.0,
+                }
+            ],
+            "corruptions": [
+                {"host": "host2", "function": "f0", "at_us": 200_000.0}
+            ],
+        }
+    )
+    config = ClusterConfig(
+        num_hosts=4, seed=7, recovery=RecoveryPolicy.full()
+    )
+    return fleet, trace, plan, config
+
+
+def check_obs_smoke() -> int:
+    """CI gate for the PR-9 observability plane.
+
+    Two byte-level contracts:
+
+    1. **Zero perturbation** — the cluster smoke workload with causal
+       tracing + SLO monitoring + flight recording all on must match
+       the all-off run's invocation count and latency checksum
+       exactly.
+    2. **Shard invariance** — an armed 4-host run (device brownout,
+       host crash + reboot, latent corruption) traced at ``shards=1``
+       and ``shards=2`` must serialize to byte-identical causal trace
+       documents.
+    """
+    from repro.cluster import ShardedClusterSimulator
+    from repro.metrics.causal import CausalTracer
+
+    status = 0
+
+    plain = run_cluster_workload()
+    instrumented = run_cluster_workload(observability=True)
+    for exact_key in ("invocations", "latency_checksum_us"):
+        if instrumented[exact_key] != plain[exact_key]:
+            print(
+                f"FAIL: observability-on cluster {exact_key} "
+                f"{instrumented[exact_key]} != observability-off "
+                f"{plain[exact_key]} — the observability plane "
+                "perturbed the simulation",
+                file=sys.stderr,
+            )
+            status = 1
+    print(
+        f"{'obs.zero_perturbation':>26}: "
+        f"{'FAIL' if status else 'ok'} "
+        f"(checksum {plain['latency_checksum_us']}, "
+        f"{instrumented['causal_events']} causal events, "
+        f"{instrumented['slo_alerts']} alerts, "
+        f"{instrumented['flight_recorded']} flight records)"
+    )
+
+    docs = {}
+    for shards in (1, OBS_SMOKE_SHARDS):
+        fleet, trace, plan, config = _obs_smoke_inputs()
+        causal = CausalTracer()
+        simulator = ShardedClusterSimulator(fleet, config, shards=shards)
+        report = simulator.run(trace, fault_plan=plan, causal=causal)
+        docs[shards] = causal.to_json()
+        print(
+            f"{'obs.sharded[%d].served' % shards:>26}: {report.count()} "
+            f"({len(causal.all_events())} events)"
+        )
+    if docs[1] != docs[OBS_SMOKE_SHARDS]:
+        print(
+            f"FAIL: causal trace document differs between shards=1 and "
+            f"shards={OBS_SMOKE_SHARDS} — the cross-shard causal merge "
+            "is not deterministic",
+            file=sys.stderr,
+        )
+        status = 1
+    if status == 0:
+        print(
+            "OK: observability smoke — all-on run bit-identical to "
+            f"all-off, causal document byte-identical across "
+            f"shards=1/{OBS_SMOKE_SHARDS} "
+            f"({len(docs[1])} bytes)"
+        )
+    return status
+
+
 def time_figures(names) -> dict:
     """Regenerate whole experiments; wall-clock seconds per id."""
     from repro.experiments import ALL_EXPERIMENTS
@@ -445,6 +600,13 @@ def main() -> int:
         action="store_true",
         help="only the sharded-cluster parity smoke (shards=1 vs 2, "
         "bit-identical checksums and merged telemetry)",
+    )
+    parser.add_argument(
+        "--obs-smoke",
+        action="store_true",
+        help="observability gate: all-on (causal+slo+flight) run must "
+        "be bit-identical to all-off, and the causal trace document "
+        "byte-identical across shard counts",
     )
     parser.add_argument(
         "--sharded-scale",
@@ -522,6 +684,9 @@ def main() -> int:
         return check_sharded_smoke(
             report_out=args.report_out, baseline=sharded_baseline
         )
+
+    if args.obs_smoke:
+        return check_obs_smoke()
 
     if args.sharded_scale:
         status, metrics = check_sharded_scale(
@@ -683,6 +848,7 @@ def main() -> int:
             )
             or status
         )
+        status = check_obs_smoke() or status
 
     if status == 0:
         print(

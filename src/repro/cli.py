@@ -323,26 +323,52 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         else (100_000.0 if args.metrics_out else None)
     )
     sharded = args.shards > 0
+    causal = None
+    if args.causal_trace or (sharded and args.chrome_trace):
+        from repro.metrics.causal import CausalTracer
+
+        causal = CausalTracer()
+    slo = None
+    if args.slo is not None:
+        from repro.metrics.slo import SloMonitor
+
+        slo = SloMonitor.from_dict(json.loads(args.slo))
+    flight = None
+    if args.flight_out:
+        from repro.metrics.flight import FlightRecorder
+
+        flight = FlightRecorder()
     if sharded:
         from repro.cluster import ShardedClusterSimulator
 
-        if tracer is not None or args.sample_interval_ms is not None:
+        if args.trace_out or args.sample_interval_ms is not None:
             print(
-                "note: --trace-out/--chrome-trace/--sample-interval-ms "
-                "are per-heap instruments; ignored with --shards"
+                "note: --trace-out/--sample-interval-ms are per-heap "
+                "instruments; ignored with --shards"
             )
-            tracer = None
+        tracer = None
+        if slo is not None or flight is not None:
+            print(
+                "note: --slo/--flight-out ride the single-heap serving "
+                "plane; ignored with --shards"
+            )
+            slo = flight = None
         simulator = ShardedClusterSimulator(
             fleet,
             config,
             shards=args.shards,
             window_us=args.window_ms * 1000.0,
         )
-        report = simulator.run(trace)
+        report = simulator.run(trace, causal=causal)
     else:
         simulator = ClusterSimulator(fleet, config)
         report = simulator.run(
-            trace, tracer=tracer, sampler_interval_us=sampler_interval_us
+            trace,
+            tracer=tracer,
+            sampler_interval_us=sampler_interval_us,
+            causal=causal,
+            slo=slo,
+            flight=flight,
         )
     if args.report_out:
         from repro.metrics.exporters import fleet_report_doc
@@ -402,6 +428,30 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             title="Per-host breakdown",
         )
     )
+    if causal is not None and args.causal_trace:
+        status = _write_output(
+            args.causal_trace,
+            causal.to_json(),
+            f"causal trace ({len(causal.document()['invocations'])} "
+            "invocations)",
+        )
+        if status:
+            return status
+    if slo is not None:
+        from repro.metrics.slo import render_slo_status
+
+        # Observability time is serving-relative (t=0 at prep end).
+        now = simulator.env.now - simulator._obs_epoch_us
+        print(render_slo_status(slo.status(now)))
+    if flight is not None:
+        status = _write_output(
+            args.flight_out,
+            flight.to_json(),
+            f"flight recorder ({len(flight.postmortems)} postmortem(s), "
+            f"{flight.dump_triggers} trigger(s))",
+        )
+        if status:
+            return status
     if sharded:
         if args.metrics_out:
             status = _write_output(
@@ -410,6 +460,20 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                     simulator.merged_metrics, indent=2, sort_keys=True
                 ),
                 "merged shard telemetry",
+            )
+            if status:
+                return status
+        if args.chrome_trace:
+            from repro.metrics.exporters import causal_to_chrome_trace
+
+            status = _write_output(
+                args.chrome_trace,
+                json.dumps(
+                    causal_to_chrome_trace(causal.document()),
+                    indent=2,
+                    sort_keys=True,
+                ),
+                "Chrome trace (causal events)",
             )
             if status:
                 return status
@@ -499,10 +563,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             else None
         ),
         "source": source_stanza,
+        "slo": json.loads(args.slo) if args.slo is not None else None,
     }
+    causal = None
+    if args.causal_trace:
+        from repro.metrics.causal import CausalTracer
+
+        causal = CausalTracer()
+    flight = None
+    if args.flight_out:
+        from repro.metrics.flight import FlightRecorder
+
+        flight = FlightRecorder()
     journal = JournalWriter(args.journal) if args.journal else None
     service = build_service(
-        spec, arrival_source=arrival_source, journal=journal
+        spec,
+        arrival_source=arrival_source,
+        journal=journal,
+        causal=causal,
+        flight=flight,
     )
 
     if interactive:
@@ -550,6 +629,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             )
             if written:
                 return written
+    if causal is not None:
+        written = _write_output(
+            args.causal_trace,
+            causal.to_json(),
+            f"causal trace ({len(causal.document()['invocations'])} "
+            f"invocations)",
+        )
+        if written:
+            return written
+    if service.slo is not None:
+        from repro.metrics.slo import render_slo_status
+
+        doc, _ = service.slo_status()
+        print(render_slo_status(doc))
+    if flight is not None:
+        written = _write_output(
+            args.flight_out,
+            flight.to_json(),
+            f"flight recorder ({len(flight.postmortems)} postmortem(s), "
+            f"{flight.dump_triggers} trigger(s))",
+        )
+        if written:
+            return written
     return status
 
 
@@ -559,7 +661,8 @@ def _repl_lines():
         "live cluster service — commands: advance MS | inject T:FN... | "
         "add-host | drain-host H | undrain-host H | swap-placement P | "
         "arm JSON | disarm | set-keepalive MS | snapshot-telemetry | "
-        "status | drain (^D quits, draining first)",
+        "set-slo JSON | slo-status | status | drain "
+        "(^D quits, draining first)",
         file=sys.stderr,
     )
     while True:
@@ -577,18 +680,49 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         list(SCENARIO_NAMES) if args.scenario == "all" else [args.scenario]
     )
     recovery = DISABLED_RECOVERY if args.no_recovery else None
+    slo_config = None
+    if args.slo is not None:
+        slo_config = json.loads(args.slo)
+    elif args.require_alert:
+        slo_config = {}
     status = 0
     reports = []
+    flight_docs = {}
+    alerts_fired = 0
     for name in names:
+        slo = None
+        if slo_config is not None:
+            from repro.metrics.slo import SloMonitor
+
+            slo = SloMonitor.from_dict(slo_config)
+        flight = None
+        if args.flight_out:
+            from repro.metrics.flight import FlightRecorder
+
+            flight = FlightRecorder()
         report = run_chaos(
             name,
             num_hosts=args.hosts,
             seed=args.seed,
             arrivals=args.arrivals,
             recovery=recovery,
+            slo=slo,
+            flight=flight,
         )
         reports.append(report)
         print(report.render())
+        if slo is not None:
+            alerts_fired += len(slo.alerts)
+            print(
+                f"  slo: {slo.observed} observation(s), "
+                f"{len(slo.alerts)} burn-rate alert(s)"
+            )
+        if flight is not None:
+            flight_docs[name] = flight.document()
+            print(
+                f"  flight: {len(flight.postmortems)} postmortem(s), "
+                f"{flight.dump_triggers} trigger(s)"
+            )
         if (
             args.min_availability is not None
             and report.availability < args.min_availability
@@ -599,6 +733,27 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             status = 1
+    if args.require_alert and alerts_fired == 0:
+        print(
+            "FAIL: --require-alert set but no burn-rate alert fired "
+            f"across {len(reports)} drill(s)",
+            file=sys.stderr,
+        )
+        status = 1
+    if args.flight_out:
+        doc = (
+            next(iter(flight_docs.values()))
+            if len(flight_docs) == 1
+            else flight_docs
+        )
+        status = (
+            _write_output(
+                args.flight_out,
+                json.dumps(doc, indent=2, sort_keys=True),
+                f"flight recorder ({len(flight_docs)} drill(s))",
+            )
+            or status
+        )
     if args.report_out:
         doc = (
             reports[0].as_dict()
@@ -836,6 +991,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="write every served invocation (with outcome and attempt "
         "count) plus the availability summary as JSON",
     )
+    cluster.add_argument(
+        "--causal-trace",
+        default=None,
+        metavar="FILE",
+        help="write the merged end-to-end causal trace (one event "
+        "story per invocation; byte-identical for any --shards count)",
+    )
+    cluster.add_argument(
+        "--slo",
+        default=None,
+        metavar="JSON",
+        help="attach an SLO monitor and print burn-rate status after "
+        "the run ('{}' for the default objectives/rules; single-heap "
+        "path only)",
+    )
+    cluster.add_argument(
+        "--flight-out",
+        default=None,
+        metavar="FILE",
+        help="arm the flight recorder and write its postmortem "
+        "document (ring-buffer dumps on failure/crash/burn alerts; "
+        "single-heap path only)",
+    )
     cluster.set_defaults(handler=_cmd_cluster)
 
     serve = sub.add_parser(
@@ -911,6 +1089,28 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the final serving report as JSON after drain",
     )
+    serve.add_argument(
+        "--slo",
+        default=None,
+        metavar="JSON",
+        help="install an SLO monitor at build time ('{}' for the "
+        "defaults; recorded in the journal spec, so replays rebuild "
+        "it); inspect with the slo-status command",
+    )
+    serve.add_argument(
+        "--causal-trace",
+        default=None,
+        metavar="FILE",
+        help="record end-to-end causal traces and write the merged "
+        "document after the run",
+    )
+    serve.add_argument(
+        "--flight-out",
+        default=None,
+        metavar="FILE",
+        help="arm the flight recorder and write its postmortem "
+        "document after the run",
+    )
     serve.set_defaults(handler=_cmd_serve)
 
     chaos = sub.add_parser(
@@ -954,6 +1154,27 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FRACTION",
         help="exit non-zero if any drill's availability falls below "
         "this fraction",
+    )
+    chaos.add_argument(
+        "--slo",
+        default=None,
+        metavar="JSON",
+        help="attach an SLO monitor to each drill's faulted run and "
+        "print burn-rate status ('{}' for the defaults)",
+    )
+    chaos.add_argument(
+        "--flight-out",
+        default=None,
+        metavar="FILE",
+        help="arm a flight recorder per drill and write the "
+        "postmortem document(s) as JSON",
+    )
+    chaos.add_argument(
+        "--require-alert",
+        action="store_true",
+        help="exit non-zero unless at least one burn-rate alert "
+        "fired (implies an SLO monitor with the default config "
+        "when --slo is not given)",
     )
     chaos.set_defaults(handler=_cmd_chaos)
 

@@ -61,7 +61,10 @@ from repro.faults import (
     SnapshotCorrupted,
 )
 from repro.faults.errors import FaultError
+from repro.metrics.causal import ROUTER_SRC, TraceContext
+from repro.metrics.flight import CLUSTER_RING
 from repro.metrics.telemetry import Sampler
+from repro.metrics.tracing import Tracer
 from repro.core.host import Host
 from repro.core.policies import Policy
 from repro.core.restore import PlatformConfig, RecordArtifacts
@@ -92,6 +95,10 @@ SNAPSHOT_TIERS = (TIER_LOCAL_NVME, TIER_SHARED_EBS)
 #: Default cost-model test input (``CostModel.costs`` uses the same),
 #: so the uncontended cluster reproduces the cost table exactly.
 DEFAULT_TEST_INPUT = InputSpec(content_id=3, size_ratio=1.0)
+
+#: Distinguishes "parameter not given" (use the host's run tracer)
+#: from an explicit ``tracer=None``.
+_UNSET = object()
 
 
 @dataclass(frozen=True)
@@ -302,6 +309,9 @@ class ClusterSimulator(ClusterScheduler):
         tracer=None,
         sampler_interval_us: Optional[float] = None,
         fault_plan: Optional[FaultPlan] = None,
+        causal=None,
+        slo=None,
+        flight=None,
     ) -> ClusterReport:
         """Serve every arrival; fresh hosts and a fresh clock per
         call, so repeated runs are bit-identical.
@@ -323,6 +333,14 @@ class ClusterSimulator(ClusterScheduler):
         latencies as the legacy inline path (the perf harness gates
         this parity).
 
+        The observability plane rides along the same way: ``causal``
+        (a :class:`~repro.metrics.causal.CausalTracer`), ``slo`` (a
+        :class:`~repro.metrics.slo.SloMonitor`) and ``flight`` (a
+        :class:`~repro.metrics.flight.FlightRecorder`) are pure
+        recorders — with all three attached the run's latency
+        checksum is bit-identical to an instrument-free run (the perf
+        harness's observability guard pins this).
+
         Since the service refactor this is a thin wrapper: the batch
         run is one canned command stream (inject everything, then
         drain) replayed through the :class:`~repro.service.core.
@@ -337,6 +355,9 @@ class ClusterSimulator(ClusterScheduler):
             tracer=tracer,
             sampler_interval_us=sampler_interval_us,
             fault_plan=fault_plan,
+            causal=causal,
+            slo=slo,
+            flight=flight,
         )
         return service.run_batch(trace)
 
@@ -363,6 +384,19 @@ class ClusterSimulator(ClusterScheduler):
         self.env = env
         self.registry = env.metrics
         recovery = self.config.recovery
+        # Observability plane. The service attaches these (or a shard
+        # host sim pre-binds ``_causal_rec``) *before* ``_begin_run``;
+        # everything is pure recording on the side of the heap, so an
+        # attached plane leaves the event schedule untouched.
+        self._causal = getattr(self, "_causal", None)
+        rec = getattr(self, "_causal_rec", None)
+        if rec is None and self._causal is not None:
+            rec = self._causal.recorder(ROUTER_SRC)
+        self._causal_rec = rec
+        self._slo = getattr(self, "_slo", None)
+        self._flight = getattr(self, "_flight", None)
+        self._obs_epoch_us = 0.0
+        self._inv_seq = 0
         #: Armed = the run wants the robust serving path. An empty
         #: plan still arms it (you asked for fault machinery; you get
         #: its code path, which must then be behaviour-identical).
@@ -403,12 +437,18 @@ class ClusterSimulator(ClusterScheduler):
         self._robust_ready = False
         if self._armed:
             self._install_robust_machinery()
-            self.injector = FaultInjector(env, fault_plan)
+            self.injector = FaultInjector(
+                env, fault_plan, observer=self._fault_observer
+            )
         self._build_hosts(env, tracer)
         self._host_by_id = {hs.host.host_id: hs for hs in self._hosts}
         if self._armed and recovery.health.enabled:
             self.monitor = HealthMonitor(
-                env, recovery.health, self._hosts
+                env,
+                recovery.health,
+                self._hosts,
+                on_drain=self._on_health_drain,
+                on_reintegrate=self._on_health_reintegrate,
             )
         return env
 
@@ -564,6 +604,9 @@ class ClusterSimulator(ClusterScheduler):
         it)."""
         prep_end = self.env.now
         self._report.prep_us = prep_end
+        # Observability times are serving-relative, like arrivals and
+        # fault plans — independent of how long prep took.
+        self._obs_epoch_us = prep_end
         if self.injector is not None:
             # Fault times are relative to the serving epoch, so a
             # plan is independent of how long prep happened to take.
@@ -588,9 +631,24 @@ class ClusterSimulator(ClusterScheduler):
         # starts after the driver yields, and same-instant arrivals
         # must see each other's load.
         hs.queued += 1
+        ctx = None
+        if self._causal is not None:
+            inv_id = self._inv_seq
+            self._inv_seq += 1
+            self._causal.register(inv_id, arrival.function, arrival.time_us)
+            ctx = TraceContext(self._causal_rec, inv_id)
+            ctx.emit(
+                self._obs_now(),
+                "dispatch",
+                host=hs.host.host_id,
+                armed=self._armed,
+            )
+        self._flight_record(
+            hs.host.host_id, "dispatch", function=arrival.function
+        )
         serve = self._serve_robust if self._armed else self._serve
         proc = env.process(
-            serve(hs, arrival, instant),
+            serve(hs, arrival, instant, ctx),
             name=f"serve:{arrival.function}@{hs.host.host_id}",
         )
         processes.append(proc)
@@ -605,6 +663,117 @@ class ClusterSimulator(ClusterScheduler):
         """Tear down the serving epoch's periodic machinery."""
         if self.monitor is not None:
             self.monitor.stop()
+
+    # -- observability plane --------------------------------------------
+    #
+    # Causal tracing, the SLO monitor, and the flight recorder are all
+    # *recording-only*: no helper below creates a simulation event,
+    # draws from any RNG, or changes a branch the heap takes. That is
+    # the zero-perturbation contract — the perf harness runs the
+    # cluster workload with all three attached and requires the exact
+    # latency checksum of the bare run.
+
+    def _obs_now(self) -> float:
+        """Current virtual time relative to the serving epoch."""
+        return self.env.now - self._obs_epoch_us
+
+    def _attempt_tracer(self, hs: "_HostState"):
+        """An ephemeral span tracer for one attempt's restore phases.
+
+        Used only when causal tracing is on: the attempt's span tree
+        is folded into the causal log as ``phase`` events afterwards
+        (and grafted onto the run tracer's document if one is also
+        attached), via :meth:`_fold_phases`.
+        """
+        return Tracer(self.env, default_tags={"host": hs.host.host_id})
+
+    def _fold_phases(self, hs: "_HostState", ctx, eph) -> None:
+        if eph is None:
+            return
+        for root in eph.roots:
+            ctx.emit_phases(root, self._obs_epoch_us)
+        if hs.tracer is not None:
+            hs.tracer.roots.extend(eph.roots)
+
+    def _record_served(self, served: ServedInvocation) -> None:
+        """Append one outcome to the report and feed the SLO/flight
+        planes. The single funnel for every serving path."""
+        self._report.served.append(served)
+        if self._slo is None and self._flight is None:
+            return
+        t_us = self._obs_now()
+        ok = served.outcome not in (
+            InvocationOutcome.FAILED,
+            InvocationOutcome.SHED,
+        )
+        fired = ()
+        if self._slo is not None:
+            fired = self._slo.observe(t_us, served.latency_us, ok)
+        if self._flight is not None:
+            self._flight.record(
+                t_us,
+                served.host,
+                "served",
+                function=served.function,
+                outcome=served.outcome.value,
+                latency_us=round(served.latency_us, 3),
+                attempts=served.attempts,
+            )
+            for alert in fired:
+                self._flight.record(
+                    t_us,
+                    CLUSTER_RING,
+                    "slo.alert",
+                    objective=alert["objective"],
+                    rule=alert["rule"],
+                )
+                self._flight_dump("burn-rate-alert", alert=alert)
+            if served.outcome is InvocationOutcome.FAILED:
+                self._flight_dump(
+                    "invocation-failed",
+                    function=served.function,
+                    host=served.host,
+                    attempts=served.attempts,
+                )
+
+    def _flight_record(self, host: str, kind: str, **detail: Any) -> None:
+        if self._flight is not None:
+            self._flight.record(self._obs_now(), host, kind, **detail)
+
+    def _flight_dump(self, reason: str, **context: Any) -> None:
+        """Snapshot the flight rings into a postmortem, annotated with
+        whatever health/SLO/recovery state the run has."""
+        if self._flight is None:
+            return
+        if self._slo is not None and "slo" not in context:
+            context["slo"] = self._slo.status(self._obs_now())
+        if self.monitor is not None:
+            context["health"] = self.monitor.summary()
+        if self._retry_budget is not None:
+            context["retry_budget"] = self._retry_budget.summary()
+        if self._hedge_tracker is not None:
+            context["hedging"] = self._hedge_tracker.summary()
+        context["hosts"] = {
+            hs.host.host_id: {
+                "healthy": hs.healthy,
+                "crashed": hs.host.crashed,
+                "active": hs.active,
+                "queued": hs.queued,
+            }
+            for hs in self._hosts
+        }
+        self._flight.dump(self._obs_now(), reason, **context)
+
+    def _fault_observer(self, kind: str, scope: str, **detail: Any) -> None:
+        """Injector callback — fault applications land in the flight
+        ring of the host (or scope) they hit."""
+        self._flight_record(scope, kind, **detail)
+
+    def _on_health_drain(self, state) -> None:
+        self._flight_record(state.host.host_id, "health.drain")
+
+    def _on_health_reintegrate(self, state) -> None:
+        self._flight_record(state.host.host_id, "health.reintegrate")
 
     # -- live-service control operations -------------------------------
     #
@@ -623,7 +792,9 @@ class ClusterSimulator(ClusterScheduler):
         self._armed = True
         if self.injector is not None:
             self.injector.disarm()
-        self.injector = FaultInjector(self.env, plan)
+        self.injector = FaultInjector(
+            self.env, plan, observer=self._fault_observer
+        )
         self.injector.arm(self, epoch_us=self.env.now)
         return self.injector
 
@@ -717,6 +888,7 @@ class ClusterSimulator(ClusterScheduler):
             self._report.evictions += 1
             self._ctr_evictions.value += 1
             evicted += 1
+        self._flight_record(host_id, "ops.drain", evicted=evicted)
         return evicted
 
     def undrain_host_live(self, host_id: str) -> None:
@@ -727,6 +899,7 @@ class ClusterSimulator(ClusterScheduler):
         if not hs.host.crashed:
             hs.healthy = True
             hs.error_times.clear()
+        self._flight_record(host_id, "ops.undrain")
 
     def _evict_expired(self, hs: _HostState, now: float) -> None:
         for vm in hs.idle.pop_expired(now, self.config.keep_alive_ttl_us):
@@ -759,7 +932,7 @@ class ClusterSimulator(ClusterScheduler):
         return artifacts
 
     def _serve(
-        self, hs: _HostState, arrival: Arrival, instant: float
+        self, hs: _HostState, arrival: Arrival, instant: float, ctx=None
     ) -> Generator[Event, Any, None]:
         env = self.env
         config = self.config
@@ -773,15 +946,28 @@ class ClusterSimulator(ClusterScheduler):
         hs.queued -= 1
         hs.active += 1
         hs.stats.admission_wait_us += env.now - instant
+        eph = None
+        tracer = hs.tracer
+        if ctx is not None:
+            ctx.emit(
+                self._obs_now(),
+                "admitted",
+                host=hs.host.host_id,
+                wait_us=env.now - instant,
+            )
+            eph = self._attempt_tracer(hs)
+            tracer = eph
         try:
             vm = hs.idle.reuse_mru(function)
             if vm is not None:
                 kind = StartKind.WARM
+                if ctx is not None:
+                    ctx.emit(self._obs_now(), "start", kind=kind.value)
                 result = yield from hs.host.invocation(
                     self._artifacts_for(hs, function, Policy.WARM),
                     config.test_input,
                     Policy.WARM,
-                    tracer=hs.tracer,
+                    tracer=tracer,
                 )
             else:
                 has_snapshot = config.snapshots_enabled and (
@@ -800,10 +986,16 @@ class ClusterSimulator(ClusterScheduler):
                     busy_until=0.0,
                     last_used=env.now,
                 )
+                if ctx is not None:
+                    ctx.emit(self._obs_now(), "start", kind=kind.value)
                 if kind is StartKind.SNAPSHOT:
-                    result = yield from self._snapshot_start(hs, function)
+                    result = yield from self._snapshot_start(
+                        hs, function, tracer=tracer
+                    )
                 else:
-                    result = yield from self._cold_start(hs, function)
+                    result = yield from self._cold_start(
+                        hs, function, tracer=tracer
+                    )
 
             # Learn the function's warm footprint from the actual VM.
             actual_mb = result.rss_pages * PAGE_SIZE / 1e6
@@ -833,7 +1025,16 @@ class ClusterSimulator(ClusterScheduler):
             else:
                 hs.stats.cold_starts += 1
                 self._ctr_cold.value += 1
-            self._report.served.append(
+            if ctx is not None:
+                ctx.emit(
+                    self._obs_now(),
+                    "outcome",
+                    outcome=InvocationOutcome.OK.value,
+                    host=hs.host.host_id,
+                    kind=kind.value,
+                    latency_us=now - instant,
+                )
+            self._record_served(
                 ServedInvocation(
                     time_us=arrival.time_us,
                     function=function,
@@ -843,6 +1044,8 @@ class ClusterSimulator(ClusterScheduler):
                 )
             )
         finally:
+            if ctx is not None:
+                self._fold_phases(hs, ctx, eph)
             hs.active -= 1
             if slot is not None:
                 hs.admission.release(slot)
@@ -858,7 +1061,7 @@ class ClusterSimulator(ClusterScheduler):
     # interrupt, a deadline can abandon, and a hedge can race.
 
     def _serve_robust(
-        self, hs: _HostState, arrival: Arrival, instant: float
+        self, hs: _HostState, arrival: Arrival, instant: float, ctx=None
     ) -> Generator[Event, Any, None]:
         env = self.env
         recovery = self.config.recovery
@@ -878,7 +1081,17 @@ class ClusterSimulator(ClusterScheduler):
             hs.queued -= 1
             hs.stats.shed += 1
             self._ctr_shed.inc()
-            self._report.served.append(
+            if ctx is not None:
+                ctx.emit(
+                    self._obs_now(),
+                    "shed",
+                    host=hs.host.host_id,
+                    load=hs.load,
+                )
+            self._flight_record(
+                hs.host.host_id, "shed", function=function
+            )
+            self._record_served(
                 ServedInvocation(
                     time_us=arrival.time_us,
                     function=function,
@@ -907,9 +1120,14 @@ class ClusterSimulator(ClusterScheduler):
         while outcome is None:
             rounds += 1
             launched += 1
-            procs = [self._launch_attempt(current, arrival, pre_counted)]
+            procs = [
+                self._launch_attempt(
+                    current, arrival, pre_counted, ctx, launched
+                )
+            ]
             hosts_used = [current]
             starts = [env.now]
+            attempt_ids = [launched]
             pre_counted = False
             hedged_this_round = False
             round_failure: Optional[BaseException] = None
@@ -942,6 +1160,18 @@ class ClusterSimulator(ClusterScheduler):
                 if race.triggered and race.ok:
                     windex, winner_kind = race.value
                     winner_host = hosts_used[windex]
+                    if ctx is not None and len(procs) > 1:
+                        # The winner/loser link of a hedge pair.
+                        ctx.emit(
+                            self._obs_now(),
+                            "hedge-result",
+                            winner=attempt_ids[windex],
+                            losers=tuple(
+                                a
+                                for a in attempt_ids
+                                if a != attempt_ids[windex]
+                            ),
+                        )
                     for pos, proc in enumerate(procs):
                         if pos != windex and proc.is_alive:
                             proc.interrupt("lost the hedge race")
@@ -961,6 +1191,12 @@ class ClusterSimulator(ClusterScheduler):
                 # the "has actually fired" test.
                 if deadline_evt is not None and deadline_evt.processed:
                     cause = DeadlineExceeded(function, recovery.deadline_us)
+                    if ctx is not None:
+                        ctx.emit(
+                            self._obs_now(),
+                            "deadline-exceeded",
+                            deadline_us=recovery.deadline_us,
+                        )
                     for proc in procs:
                         if proc.is_alive:
                             proc.interrupt(cause)
@@ -973,11 +1209,27 @@ class ClusterSimulator(ClusterScheduler):
                         launched += 1
                         tracker.fired += 1
                         other.stats.hedges += 1
+                        if ctx is not None:
+                            ctx.emit(
+                                self._obs_now(),
+                                "hedge",
+                                host=other.host.host_id,
+                                attempt=launched,
+                                threshold_us=threshold,
+                            )
+                        self._flight_record(
+                            other.host.host_id,
+                            "hedge",
+                            function=function,
+                        )
                         procs.append(
-                            self._launch_attempt(other, arrival, False)
+                            self._launch_attempt(
+                                other, arrival, False, ctx, launched
+                            )
                         )
                         hosts_used.append(other)
                         starts.append(env.now)
+                        attempt_ids.append(launched)
                     continue
                 continue  # pragma: no cover - no other wake source
 
@@ -1010,12 +1262,28 @@ class ClusterSimulator(ClusterScheduler):
                     break
                 hs.stats.retries += 1
                 self._ctr_retries.inc()
+                if ctx is not None:
+                    ctx.emit(
+                        self._obs_now(),
+                        "retry",
+                        round=rounds,
+                        backoff_us=backoff,
+                    )
+                self._flight_record(
+                    current.host.host_id, "retry", function=function
+                )
                 if backoff > 0:
                     yield env.timeout(backoff)
                 if recovery.failover:
                     nxt = self._pick_failover(current, function)
                     if nxt is not None:
                         current = nxt
+                        if ctx is not None:
+                            ctx.emit(
+                                self._obs_now(),
+                                "failover",
+                                host=current.host.host_id,
+                            )
                 continue
             outcome = InvocationOutcome.FAILED
             break
@@ -1024,7 +1292,22 @@ class ClusterSimulator(ClusterScheduler):
             current.stats.failures += 1
             winner_host = current
             self._ctr_failed.inc()
-        self._report.served.append(
+        if ctx is not None:
+            ctx.emit(
+                self._obs_now(),
+                "outcome",
+                outcome=outcome.value,
+                host=winner_host.host.host_id,
+                kind=(
+                    winner_kind.value
+                    if winner_kind is not None
+                    and outcome is not InvocationOutcome.FAILED
+                    else None
+                ),
+                attempts=launched,
+                latency_us=env.now - instant,
+            )
+        self._record_served(
             ServedInvocation(
                 time_us=arrival.time_us,
                 function=function,
@@ -1038,7 +1321,12 @@ class ClusterSimulator(ClusterScheduler):
         )
 
     def _launch_attempt(
-        self, target: _HostState, arrival: Arrival, pre_counted: bool
+        self,
+        target: _HostState,
+        arrival: Arrival,
+        pre_counted: bool,
+        ctx=None,
+        attempt_no: int = 1,
     ):
         """Spawn one attempt process on ``target`` and register it for
         crash interruption. ``pre_counted`` marks the first attempt,
@@ -1046,7 +1334,7 @@ class ClusterSimulator(ClusterScheduler):
         if not pre_counted:
             target.queued += 1
         proc = self.env.process(
-            self._attempt(target, arrival),
+            self._attempt(target, arrival, ctx, attempt_no),
             name=f"attempt:{arrival.function}@{target.host.host_id}",
         )
         target.attempt_procs[proc] = None
@@ -1056,7 +1344,7 @@ class ClusterSimulator(ClusterScheduler):
         return proc
 
     def _attempt(
-        self, hs: _HostState, arrival: Arrival
+        self, hs: _HostState, arrival: Arrival, ctx=None, attempt_no: int = 1
     ) -> Generator[Event, Any, StartKind]:
         """One try at serving ``arrival`` on ``hs``; the body mirrors
         the legacy ``_serve`` exactly, wrapped in the bookkeeping that
@@ -1068,13 +1356,33 @@ class ClusterSimulator(ClusterScheduler):
         function = arrival.function
         started = env.now
 
+        if ctx is not None:
+            ctx.emit(
+                self._obs_now(),
+                "attempt",
+                attempt=attempt_no,
+                host=hs.host.host_id,
+            )
         if hs.host.crashed:
             # Placed onto a host that died before we started.
+            if ctx is not None:
+                ctx.emit(
+                    self._obs_now(),
+                    "attempt-failed",
+                    attempt=attempt_no,
+                    host=hs.host.host_id,
+                    cause="HostCrashed",
+                )
             raise HostCrashed(hs.host.host_id)
 
         slot = None
         admitted = False
         reserved_mb = 0.0
+        eph = None
+        tracer = hs.tracer
+        if ctx is not None:
+            eph = self._attempt_tracer(hs)
+            tracer = eph
         try:
             if hs.admission is not None:
                 slot = hs.admission.request()
@@ -1083,6 +1391,13 @@ class ClusterSimulator(ClusterScheduler):
             hs.active += 1
             admitted = True
             hs.stats.admission_wait_us += env.now - started
+            if ctx is not None:
+                ctx.emit(
+                    self._obs_now(),
+                    "admitted",
+                    attempt=attempt_no,
+                    wait_us=env.now - started,
+                )
 
             policy = config.restore_policy
             shedding = recovery.shedding
@@ -1097,15 +1412,32 @@ class ClusterSimulator(ClusterScheduler):
                 policy = shedding.degraded_policy
                 hs.stats.degraded_starts += 1
                 self._ctr_degraded.inc()
+                if ctx is not None:
+                    ctx.emit(
+                        self._obs_now(),
+                        "degraded",
+                        attempt=attempt_no,
+                        policy=policy.value,
+                    )
+                self._flight_record(
+                    hs.host.host_id, "degraded", function=function
+                )
 
             vm = hs.idle.reuse_mru(function)
             if vm is not None:
                 kind = StartKind.WARM
+                if ctx is not None:
+                    ctx.emit(
+                        self._obs_now(),
+                        "start",
+                        attempt=attempt_no,
+                        kind=kind.value,
+                    )
                 result = yield from hs.host.invocation(
                     self._artifacts_for(hs, function, Policy.WARM),
                     config.test_input,
                     Policy.WARM,
-                    tracer=hs.tracer,
+                    tracer=tracer,
                 )
             else:
                 has_snapshot = config.snapshots_enabled and (
@@ -1125,6 +1457,13 @@ class ClusterSimulator(ClusterScheduler):
                     busy_until=0.0,
                     last_used=env.now,
                 )
+                if ctx is not None:
+                    ctx.emit(
+                        self._obs_now(),
+                        "start",
+                        attempt=attempt_no,
+                        kind=kind.value,
+                    )
                 if kind is StartKind.SNAPSHOT:
                     if (
                         self.injector is not None
@@ -1136,10 +1475,12 @@ class ClusterSimulator(ClusterScheduler):
                         self._ctr_corrupt.inc()
                         raise SnapshotCorrupted(hs.host.host_id, function)
                     result = yield from self._snapshot_start(
-                        hs, function, policy=policy
+                        hs, function, policy=policy, tracer=tracer
                     )
                 else:
-                    result = yield from self._cold_start(hs, function)
+                    result = yield from self._cold_start(
+                        hs, function, tracer=tracer
+                    )
 
             # Success: identical post-processing to the legacy path.
             actual_mb = result.rss_pages * PAGE_SIZE / 1e6
@@ -1168,13 +1509,49 @@ class ClusterSimulator(ClusterScheduler):
             else:
                 hs.stats.cold_starts += 1
                 self._ctr_cold.value += 1
+            if ctx is not None:
+                ctx.emit(
+                    self._obs_now(),
+                    "attempt-ok",
+                    attempt=attempt_no,
+                    host=hs.host.host_id,
+                    kind=kind.value,
+                    latency_us=env.now - started,
+                )
             return kind
         except BaseException as exc:
             cause = exc.cause if isinstance(exc, Interrupt) else exc
             if isinstance(cause, (DeviceError, SnapshotCorrupted)):
                 self._note_failure(hs)
+            if ctx is not None:
+                if isinstance(cause, str):
+                    # A hedge loser interrupted with a reason string.
+                    ctx.emit(
+                        self._obs_now(),
+                        "attempt-cancelled",
+                        attempt=attempt_no,
+                        host=hs.host.host_id,
+                        reason=cause,
+                    )
+                else:
+                    ctx.emit(
+                        self._obs_now(),
+                        "attempt-failed",
+                        attempt=attempt_no,
+                        host=hs.host.host_id,
+                        cause=type(cause).__name__,
+                    )
+            if not isinstance(cause, str):
+                self._flight_record(
+                    hs.host.host_id,
+                    "attempt-failed",
+                    function=function,
+                    cause=type(cause).__name__,
+                )
             raise
         finally:
+            if ctx is not None:
+                self._fold_phases(hs, ctx, eph)
             if reserved_mb:
                 hs.memory_mb -= reserved_mb
             if admitted:
@@ -1243,18 +1620,29 @@ class ClusterSimulator(ClusterScheduler):
         hs.host.crash()
         hs.healthy = False
         hs.last_bad_us = self.env.now
+        vms_lost = 0
         while True:
             vm = hs.idle.pop_lru()
             if vm is None:
                 break
             hs.memory_mb -= vm.memory_mb
             hs.stats.crash_vm_losses += 1
+            vms_lost += 1
+        interrupted = 0
         for proc in list(hs.attempt_procs):
             if proc.is_alive:
                 proc.interrupt(HostCrashed(host_id))
+                interrupted += 1
         hs.attempt_procs.clear()
         # Wake anyone sleeping on a read whose owner just died.
         hs.host.cache.abandon_all_pending()
+        self._flight_record(
+            host_id,
+            "fault.crash",
+            vms_lost=vms_lost,
+            attempts_interrupted=interrupted,
+        )
+        self._flight_dump("host-crash", host=host_id)
 
     def reboot_host(self, host_id: str) -> None:
         """Bring a crashed host back cold. With a health monitor the
@@ -1266,21 +1654,28 @@ class ClusterSimulator(ClusterScheduler):
         hs.last_bad_us = self.env.now
         if self.monitor is None and not hs.drained:
             hs.healthy = True
+        self._flight_record(host_id, "fault.reboot")
 
     def _snapshot_start(
         self,
         hs: _HostState,
         function: str,
         policy: Optional[Policy] = None,
+        tracer=_UNSET,
     ):
         """Page-level snapshot restore + invocation on ``hs``.
 
         ``policy`` overrides the configured restore policy (the
         degraded-mode path restores with the cheaper baseline).
+        ``tracer`` overrides the host's run tracer (the causal path
+        substitutes a per-attempt tracer whose spans it folds into
+        the invocation's event stream).
         """
         config = self.config
         if policy is None:
             policy = config.restore_policy
+        if tracer is _UNSET:
+            tracer = hs.tracer
         artifacts = self._artifacts_for(hs, function, policy)
         in_flight = hs.disk_active.get(function, 0)
         hs.disk_active[function] = in_flight + 1
@@ -1289,6 +1684,9 @@ class ClusterSimulator(ClusterScheduler):
             # the cost-table methodology (cold caches, fresh readahead
             # window) for a function that has not run recently.
             hs.host.drop_function_caches(artifacts)
+            self._flight_record(
+                hs.host.host_id, "page-cache.drop", function=function
+            )
         gate = hs.acquire_gate(artifacts)
         try:
             result = yield from hs.host.invocation(
@@ -1296,17 +1694,19 @@ class ClusterSimulator(ClusterScheduler):
                 config.test_input,
                 policy,
                 loader_gate=gate,
-                tracer=hs.tracer,
+                tracer=tracer,
             )
         finally:
             hs.release_gate(artifacts)
             hs.disk_active[function] -= 1
         return result
 
-    def _cold_start(self, hs: _HostState, function: str):
+    def _cold_start(self, hs: _HostState, function: str, tracer=_UNSET):
         """VMM start + kernel boot + runtime init, then the invocation
         runs warm-equivalent (nothing pages in from a snapshot)."""
         config = self.config
+        if tracer is _UNSET:
+            tracer = hs.tracer
         profile = self._profiles[function]
         yield self.env.timeout(
             config.platform.vmm.vmm_start_us
@@ -1317,6 +1717,6 @@ class ClusterSimulator(ClusterScheduler):
             self._artifacts_for(hs, function, Policy.WARM),
             config.test_input,
             Policy.WARM,
-            tracer=hs.tracer,
+            tracer=tracer,
         )
         return result

@@ -72,7 +72,13 @@ Divergences from the single-heap path (documented, deterministic):
   contention arrives as the background-demand factor above;
 * hedges fire at the first window boundary where the primary attempt
   has been in flight longer than the threshold, and failover retries
-  redispatch at ``max(window end, failure + backoff)``.
+  redispatch at ``max(window end, failure + backoff)``;
+* causal-trace events: hosts emit attempt-level events from their own
+  serve paths (source = host index, drained in each window digest),
+  the router emits routing decisions (source ``-1``) — so the sharded
+  trace shows ``route``/``redispatch`` where the single-heap trace
+  shows ``dispatch``/``failover``. Within the sharded family the
+  merged document is byte-identical for every shard count.
 """
 
 from __future__ import annotations
@@ -110,6 +116,7 @@ from repro.fleet.scheduler import (
     StartKind,
 )
 from repro.fleet.workload import Arrival, ArrivalTrace
+from repro.metrics.causal import CausalRecorder, ROUTER_SRC, TraceContext
 from repro.metrics.exporters import merge_shard_snapshots, registry_snapshot
 from repro.metrics.stats import Histogram
 from repro.metrics.telemetry import MetricsRegistry
@@ -284,14 +291,24 @@ class _ShardHostSim(ClusterSimulator):
     # Window-driven lifecycle ------------------------------------------
 
     def begin(
-        self, fault_plan: Optional[FaultPlan], armed: bool
+        self,
+        fault_plan: Optional[FaultPlan],
+        armed: bool,
+        causal: bool = False,
     ) -> Dict[str, Any]:
         """Run the prep epoch and arm fault machinery; returns the
-        initial digest."""
+        initial digest. ``causal`` installs a per-host
+        :class:`~repro.metrics.causal.CausalRecorder` (source = host
+        index) whose events each window digest drains back to the
+        router."""
         host_id = self._host_id(0)
         sub_plan = plan_for_host(fault_plan, host_id)
         if sub_plan is None and armed:
             sub_plan = FaultPlan.empty()
+        if causal:
+            # Installed before ``_begin_run`` so its getattr pickup
+            # keeps this host-sourced recorder.
+            self._causal_rec = CausalRecorder(self.host_index)
         env = self._begin_run(None, sub_plan)
         self.sampler = None
         self._latency_hist = self.registry.histogram(
@@ -300,6 +317,7 @@ class _ShardHostSim(ClusterSimulator):
         prep = env.process(self._prepare(), name="shard-prep")
         env.run(until=prep)
         self._epoch = env.now
+        self._obs_epoch_us = self._epoch
         self._report.prep_us = env.now
         if self.injector is not None:
             self.injector.arm(self, epoch_us=self._epoch)
@@ -402,7 +420,7 @@ class _ShardHostSim(ClusterSimulator):
             total = self._shared_device.stats.bytes_read
             shared_bytes = max(0, total - self._shared_bytes_seen)
             self._shared_bytes_seen = total
-        return {
+        out: Dict[str, Any] = {
             "completions": completions,
             "failures": failures,
             "sheds": sheds,
@@ -419,6 +437,9 @@ class _ShardHostSim(ClusterSimulator):
             "shared_bytes": shared_bytes,
             "window_events": window_events,
         }
+        if self._causal_rec is not None:
+            out["causal_events"] = self._causal_rec.drain()
+        return out
 
     def _submission(self, d: _Dispatch):
         env = self.env
@@ -429,18 +450,27 @@ class _ShardHostSim(ClusterSimulator):
         self._evict_expired(hs, env.now)
         hs.queued += 1
         self._report.memory_samples_mb.append(hs.memory_mb)
+        ctx = None
+        if self._causal_rec is not None:
+            ctx = TraceContext(self._causal_rec, d.inv_id)
+            ctx.emit(
+                self._obs_now(),
+                "dispatch",
+                host=hs.host.host_id,
+                hedge=d.is_hedge,
+            )
         if self._armed:
-            yield from self._serve_sharded(hs, d)
+            yield from self._serve_sharded(hs, d, ctx)
         else:
             arrival = Arrival(time_us=d.arrival_us, function=d.function)
-            yield from self._serve(hs, arrival, env.now)
+            yield from self._serve(hs, arrival, env.now, ctx)
             # ``_serve`` appends its entry and returns with no further
             # yields, so the new entry is the last one right now.
             entry = self._report.served[-1]
             self._inv_for_serve[id(entry)] = d.inv_id
             self._latency_hist.observe(entry.latency_us)
 
-    def _serve_sharded(self, hs, d: _Dispatch):
+    def _serve_sharded(self, hs, d: _Dispatch, ctx=None):
         """The armed serve chain for one dispatch: mirrors the parent
         class's ``_serve_robust`` round loop, but everything cross-host
         — failover, hedging, final outcomes — is handed back to the
@@ -463,6 +493,13 @@ class _ShardHostSim(ClusterSimulator):
                 hs.queued -= 1
                 hs.stats.shed += 1
                 self._ctr_shed.inc()
+                if ctx is not None:
+                    ctx.emit(
+                        self._obs_now(),
+                        "shed",
+                        host=hs.host.host_id,
+                        load=hs.load,
+                    )
                 self._out_sheds.append(
                     _Shed(d.inv_id, self.host_index, d.arrival_us)
                 )
@@ -478,7 +515,7 @@ class _ShardHostSim(ClusterSimulator):
         pre_counted = True
         while True:
             rounds += 1
-            proc = self._launch_attempt(hs, arrival, pre_counted)
+            proc = self._launch_attempt(hs, arrival, pre_counted, ctx, rounds)
             pre_counted = False
             start = env.now
             race = env.first_success([proc])
@@ -517,6 +554,12 @@ class _ShardHostSim(ClusterSimulator):
                     if proc.is_alive:
                         proc.interrupt(
                             DeadlineExceeded(function, recovery.deadline_us)
+                        )
+                    if ctx is not None:
+                        ctx.emit(
+                            self._obs_now(),
+                            "deadline-exceeded",
+                            deadline_us=recovery.deadline_us,
                         )
                     self._out_failures.append(
                         _Failure(
@@ -569,6 +612,16 @@ class _ShardHostSim(ClusterSimulator):
                     return
                 hs.stats.retries += 1
                 self._ctr_retries.inc()
+                if ctx is not None:
+                    ctx.emit(
+                        self._obs_now(),
+                        "retry",
+                        round=rounds,
+                        backoff_us=backoff,
+                        failover=bool(
+                            recovery.failover and self.total_hosts > 1
+                        ),
+                    )
                 if recovery.failover and self.total_hosts > 1:
                     # Cross-host retry: the router picks the failover
                     # host and redispatches after the backoff.
@@ -609,7 +662,7 @@ def _build_host_sims(
     return [_ShardHostSim(fleet, config, i) for i in host_indices]
 
 
-def _shard_worker_main(conn, fleet, config, host_indices, armed, plan):
+def _shard_worker_main(conn, fleet, config, host_indices, armed, plan, causal):
     """Worker process: owns one shard's host sims, executes router
     commands from the pipe until told to stop. Module-level (and all
     arguments picklable) so the ``spawn`` start method works too."""
@@ -620,7 +673,10 @@ def _shard_worker_main(conn, fleet, config, host_indices, armed, plan):
             cmd = msg[0]
             if cmd == "begin":
                 conn.send(
-                    {s.host_index: s.begin(plan, armed) for s in sims}
+                    {
+                        s.host_index: s.begin(plan, armed, causal)
+                        for s in sims
+                    }
                 )
             elif cmd == "window":
                 _, until_us, updates, dispatches = msg
@@ -649,15 +705,19 @@ class _SerialBackend:
     cannot tell the backends apart, which is the determinism
     argument in one sentence."""
 
-    def __init__(self, fleet, config, armed, plan):
+    def __init__(self, fleet, config, armed, plan, causal=False):
         self._sims = _build_host_sims(
             fleet, config, range(config.num_hosts)
         )
         self._armed = armed
         self._plan = plan
+        self._causal = causal
 
     def begin(self):
-        return {s.host_index: s.begin(self._plan, self._armed) for s in self._sims}
+        return {
+            s.host_index: s.begin(self._plan, self._armed, self._causal)
+            for s in self._sims
+        }
 
     def window(self, until_us, updates, dispatches):
         out = {}
@@ -680,7 +740,7 @@ class _ProcessBackend:
     preferred with a ``spawn`` fallback (same discipline as
     ``experiments.runner.parallel_map``)."""
 
-    def __init__(self, fleet, config, armed, plan, groups):
+    def __init__(self, fleet, config, armed, plan, groups, causal=False):
         ctx = None
         for method in ("fork", "spawn"):
             try:
@@ -697,7 +757,7 @@ class _ProcessBackend:
             parent_conn, child_conn = ctx.Pipe()
             proc = ctx.Process(
                 target=_shard_worker_main,
-                args=(child_conn, fleet, config, group, armed, plan),
+                args=(child_conn, fleet, config, group, armed, plan, causal),
                 daemon=True,
             )
             proc.start()
@@ -805,7 +865,13 @@ class ShardedClusterSimulator:
         self,
         trace: ArrivalTrace,
         fault_plan: Optional[FaultPlan] = None,
+        causal=None,
     ) -> ClusterReport:
+        """Serve ``trace``. ``causal`` is an optional
+        :class:`~repro.metrics.causal.CausalTracer`: the router records
+        its decisions as source ``-1`` and folds in every host's
+        drained events, producing one merged document whose bytes are
+        invariant to the shard count."""
         config = self.config
         H = config.num_hosts
         recovery = config.recovery
@@ -832,7 +898,9 @@ class ShardedClusterSimulator:
             )
 
         if self.shards == 1:
-            backend = _SerialBackend(self.fleet, config, armed, fault_plan)
+            backend = _SerialBackend(
+                self.fleet, config, armed, fault_plan, causal is not None
+            )
         else:
             backend = _ProcessBackend(
                 self.fleet,
@@ -840,6 +908,7 @@ class ShardedClusterSimulator:
                 armed,
                 fault_plan,
                 partition_hosts(H, self.shards),
+                causal is not None,
             )
         try:
             return self._run_router(
@@ -852,6 +921,7 @@ class ShardedClusterSimulator:
                 ctr_redispatch,
                 ctr_failed if armed else None,
                 armed,
+                causal,
             )
         finally:
             backend.close()
@@ -869,6 +939,7 @@ class ShardedClusterSimulator:
         ctr_redispatch,
         ctr_failed,
         armed: bool,
+        causal=None,
     ) -> ClusterReport:
         config = self.config
         H = config.num_hosts
@@ -876,6 +947,7 @@ class ShardedClusterSimulator:
         shared = config.snapshot_tier == TIER_SHARED_EBS
         #: Shared-tier replica capacity per window, bytes.
         window_capacity = EBS_IO2.bandwidth_bytes_per_us * W
+        crec = causal.recorder(ROUTER_SRC) if causal is not None else None
 
         begin = backend.begin()
         views = [StaticHostView(index=i) for i in range(H)]
@@ -886,6 +958,8 @@ class ShardedClusterSimulator:
             self._apply_digest(
                 views[i], begin[i], tokens, shared_bytes, published, i
             )
+            if causal is not None:
+                causal.extend(begin[i].get("causal_events", ()))
         prep_us = max(begin[i]["prep_us"] for i in range(H))
 
         arrivals = trace.arrivals
@@ -931,6 +1005,8 @@ class ShardedClusterSimulator:
                 invs[inv_id] = _InvState(
                     function=a.function, arrival_us=a.time_us
                 )
+                if causal is not None:
+                    causal.register(inv_id, a.function, a.time_us)
                 heapq.heappush(
                     heap,
                     (
@@ -951,6 +1027,15 @@ class ShardedClusterSimulator:
                 _, _, host, d = heapq.heappop(heap)
                 if host < 0:
                     host = placement.choose(views, d.function)
+                if crec is not None:
+                    crec.emit(
+                        d.inv_id,
+                        d.start_us,
+                        "route",
+                        host=f"host{host}",
+                        hedge=d.is_hedge,
+                        initial=d.is_initial,
+                    )
                 views[host].projected += 1
                 meta = invs[d.inv_id]
                 meta.outstanding += 1
@@ -969,6 +1054,8 @@ class ShardedClusterSimulator:
                 self._apply_digest(
                     views[i], digest, tokens, shared_bytes, published, i
                 )
+                if causal is not None:
+                    causal.extend(digest.get("causal_events", ()))
                 for j, c in enumerate(digest["completions"]):
                     events.append((c.finish_us, i, j, "done", c))
                 for j, f in enumerate(digest["failures"]):
@@ -1002,6 +1089,14 @@ class ShardedClusterSimulator:
                         # A hedge race already resolved; this is the
                         # loser completing late.
                         tracker.cancelled += 1
+                        if crec is not None:
+                            crec.emit(
+                                rec.inv_id,
+                                rec.finish_us,
+                                "hedge-cancelled",
+                                hedge=rec.is_hedge,
+                                host=f"host{host_idx}",
+                            )
                         continue
                     meta.done = True
                     if not armed:
@@ -1016,6 +1111,17 @@ class ShardedClusterSimulator:
                         outcome = InvocationOutcome.RETRIED
                     else:
                         outcome = InvocationOutcome.OK
+                    if crec is not None:
+                        crec.emit(
+                            rec.inv_id,
+                            rec.finish_us,
+                            "outcome",
+                            attempts=meta.attempts,
+                            host=f"host{host_idx}",
+                            kind=rec.kind.value,
+                            latency_us=rec.finish_us - meta.arrival_us,
+                            outcome=outcome.value,
+                        )
                     served_router.append(
                         ServedInvocation(
                             time_us=meta.arrival_us,
@@ -1050,6 +1156,15 @@ class ShardedClusterSimulator:
                         retry_rec.fail_us + retry_rec.backoff_us,
                     )
                     ctr_redispatch.value += 1
+                    if crec is not None:
+                        crec.emit(
+                            rec.inv_id,
+                            start,
+                            "redispatch",
+                            backoff_us=retry_rec.backoff_us,
+                            host=f"host{target}",
+                            round=retry_rec.rounds,
+                        )
                     heapq.heappush(
                         heap,
                         (
@@ -1073,6 +1188,17 @@ class ShardedClusterSimulator:
                 failed_by_host[host_idx] = (
                     failed_by_host.get(host_idx, 0) + 1
                 )
+                if crec is not None:
+                    crec.emit(
+                        rec.inv_id,
+                        rec.fail_us,
+                        "outcome",
+                        attempts=meta.attempts,
+                        host=f"host{host_idx}",
+                        kind=None,
+                        latency_us=rec.fail_us - meta.arrival_us,
+                        outcome=InvocationOutcome.FAILED.value,
+                    )
                 served_router.append(
                     ServedInvocation(
                         time_us=meta.arrival_us,
@@ -1119,6 +1245,14 @@ class ShardedClusterSimulator:
                             continue
                         meta.hedged = True
                         tracker.fired += 1
+                        if crec is not None:
+                            crec.emit(
+                                inv_id,
+                                w_end,
+                                "hedge",
+                                host=f"host{target}",
+                                threshold_us=threshold,
+                            )
                         heapq.heappush(
                             heap,
                             (

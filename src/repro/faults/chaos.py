@@ -299,12 +299,21 @@ def run_chaos(
     arrivals: int = 60,
     interarrival_us: float = 250_000.0,
     recovery: Optional[RecoveryPolicy] = None,
+    causal=None,
+    slo=None,
+    flight=None,
 ) -> ChaosReport:
     """Run one chaos drill and its fault-free baseline.
 
     ``recovery=None`` uses the full self-healing policy; pass
     :data:`~repro.faults.DISABLED_RECOVERY` to measure how the
     cluster fares with every recovery feature off.
+
+    ``causal`` / ``slo`` / ``flight`` attach the observability plane
+    (causal tracer, SLO monitor, flight recorder) to the *faulted*
+    run only — the baseline stays pristine so the comparison is
+    fault-vs-no-fault, not instrumented-vs-not (instrumentation is
+    zero-perturbation anyway; the harness gates that separately).
     """
     spec = SCENARIOS.get(scenario)
     if spec is None:
@@ -333,7 +342,9 @@ def run_chaos(
         **spec.config_overrides,
     )
     simulator = ClusterSimulator(fleet, chaos_config)
-    report = simulator.run(trace, fault_plan=plan)
+    report = simulator.run(
+        trace, fault_plan=plan, causal=causal, slo=slo, flight=flight
+    )
 
     ok = len(report.ok_invocations())
     return ChaosReport(

@@ -134,3 +134,17 @@ class HealthMonitor:
                 self.reintegrations += 1
                 if self.on_reintegrate is not None:
                     self.on_reintegrate(state)
+
+    # -- reporting -----------------------------------------------------
+
+    def summary(self) -> dict:
+        """Point-in-time health snapshot, used as postmortem context
+        by the flight recorder."""
+        return {
+            "drains": self.drains,
+            "reintegrations": self.reintegrations,
+            "checks": self.checks,
+            "unhealthy": sorted(
+                s.host.host_id for s in self.states if not s.healthy
+            ),
+        }

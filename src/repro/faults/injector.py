@@ -32,9 +32,18 @@ from repro.storage.device import Degradation
 class FaultInjector:
     """Schedules the faults of one plan on one environment."""
 
-    def __init__(self, env: Environment, plan: Optional[FaultPlan] = None):
+    def __init__(
+        self,
+        env: Environment,
+        plan: Optional[FaultPlan] = None,
+        observer: Optional[Any] = None,
+    ):
         self.env = env
         self.plan = plan if plan is not None else FaultPlan.empty()
+        #: Optional ``observer(kind, scope, **detail)`` callback fired
+        #: (synchronously, purely for recording — the flight recorder)
+        #: when a fault is applied or revoked. Never a sim event.
+        self.observer = observer
         self._corrupted: Set[Tuple[str, str]] = set()
         self._armed = False
         self._disarmed = False
@@ -117,14 +126,19 @@ class FaultInjector:
             self._close_window(entry)
         self._corrupted.clear()
 
+    def _notify(self, kind: str, scope: str, **detail: Any) -> None:
+        if self.observer is not None:
+            self.observer(kind, scope, **detail)
+
     def _close_window(self, entry: list) -> None:
         if entry not in self._open_windows:
             return
         self._open_windows.remove(entry)
-        devices, degradation = entry
+        devices, degradation, scope = entry
         for device in devices:
             device.pop_degradation(degradation)
         self.device_windows_closed += 1
+        self._notify("fault.device-window.close", scope)
 
     def _register_metrics(self) -> None:
         registry = getattr(self.env, "metrics", None)
@@ -175,7 +189,13 @@ class FaultInjector:
         for device in devices:
             device.push_degradation(degradation)
         self.device_windows_opened += 1
-        entry = [devices, degradation]
+        self._notify(
+            "fault.device-window.open",
+            fault.scope,
+            latency_factor=fault.latency_factor,
+            error_rate=fault.error_rate,
+        )
+        entry = [devices, degradation, fault.scope]
         self._open_windows.append(entry)
         if fault.duration_us is None:
             return
@@ -208,6 +228,11 @@ class FaultInjector:
         )
         self._corrupted.add((corruption.host, corruption.function))
         self.corruptions_marked += 1
+        self._notify(
+            "fault.corruption.marked",
+            corruption.host,
+            function=corruption.function,
+        )
 
     # -- restore-time validation ---------------------------------------
 
@@ -220,6 +245,9 @@ class FaultInjector:
         if key in self._corrupted:
             self._corrupted.discard(key)
             self.corruptions_detected += 1
+            self._notify(
+                "fault.corruption.detected", host_id, function=function
+            )
             return True
         return False
 

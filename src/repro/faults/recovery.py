@@ -262,6 +262,16 @@ class RetryBudget:
         self.denied += 1
         return False
 
+    def summary(self) -> dict:
+        """Point-in-time budget snapshot (flight-recorder postmortem
+        context)."""
+        return {
+            "tokens": round(self.tokens, 4),
+            "arrivals": self.arrivals,
+            "spent": self.spent,
+            "denied": self.denied,
+        }
+
     @classmethod
     def partitioned(
         cls, min_budget: float, ratio: float, partitions: int
@@ -344,3 +354,17 @@ class HedgeTracker:
         return max(
             ordered[rank] * self.policy.multiplier, self.policy.floor_us
         )
+
+    def summary(self) -> dict:
+        """Point-in-time hedge snapshot (flight-recorder postmortem
+        context)."""
+        threshold = self.threshold_us()
+        return {
+            "fired": self.fired,
+            "won": self.won,
+            "cancelled": self.cancelled,
+            "samples": self.samples,
+            "threshold_us": (
+                round(threshold, 3) if threshold is not None else None
+            ),
+        }

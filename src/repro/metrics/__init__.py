@@ -30,6 +30,7 @@ from repro.metrics.telemetry import (
     render_run_report,
 )
 from repro.metrics.exporters import (
+    causal_to_chrome_trace,
     merge_shard_snapshots,
     parse_prometheus,
     registry_snapshot,
@@ -37,9 +38,32 @@ from repro.metrics.exporters import (
     to_json_doc,
     to_prometheus,
 )
+from repro.metrics.causal import (
+    CausalRecorder,
+    CausalTracer,
+    TraceContext,
+    TraceEvent,
+)
+from repro.metrics.slo import (
+    BurnRateRule,
+    SloMonitor,
+    SloObjective,
+    render_slo_status,
+)
+from repro.metrics.flight import FlightRecorder, render_postmortem
 
 __all__ = [
+    "BurnRateRule",
+    "CausalRecorder",
+    "CausalTracer",
     "Counter",
+    "FlightRecorder",
+    "SloMonitor",
+    "SloObjective",
+    "TraceContext",
+    "TraceEvent",
+    "causal_to_chrome_trace",
+    "render_postmortem",
     "Gauge",
     "Histogram",
     "HistogramInstrument",
@@ -56,6 +80,7 @@ __all__ = [
     "registry_snapshot",
     "render_bars",
     "render_run_report",
+    "render_slo_status",
     "render_table",
     "stddev",
     "to_chrome_trace",

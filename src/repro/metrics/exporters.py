@@ -274,6 +274,14 @@ def fleet_report_doc(report) -> Dict[str, Any]:
 # -- Chrome trace_event ------------------------------------------------
 
 
+def _span_hosts(span: Span, hosts: set) -> None:
+    host = span.tags.get("host")
+    if host is not None:
+        hosts.add(host)
+    for child in span.children:
+        _span_hosts(child, hosts)
+
+
 def _span_events(
     span: Span,
     pid: Any,
@@ -283,8 +291,6 @@ def _span_events(
 ) -> None:
     host = span.tags.get("host")
     if host is not None:
-        if host not in pids:
-            pids[host] = len(pids)
         pid = pids[host]
     event: Dict[str, Any] = {
         "ph": "X",
@@ -316,12 +322,73 @@ def to_chrome_trace(tracer: Tracer) -> Dict[str, Any]:
 
     Every span becomes a complete ("X") event with microsecond
     ``ts``/``dur``. The process id groups spans by their ``host`` tag
-    (one pid per host, in first-seen order); the thread id groups each
-    root span's whole tree, so concurrent invocations render as
+    — one pid per host, assigned in *sorted host-name order* so the
+    pid layout is a pure function of which hosts appear, not of
+    which host happened to finish a span first. The thread id groups
+    each root span's whole tree, so concurrent invocations render as
     parallel tracks.
     """
+    hosts: set = set()
+    for root in tracer.roots:
+        _span_hosts(root, hosts)
+    pids = {host: pid for pid, host in enumerate(sorted(hosts))}
     events: List[Dict[str, Any]] = []
-    pids: Dict[str, int] = {}
     for tid, root in enumerate(tracer.roots):
-        _span_events(root, 0, tid, pids, events)
+        _span_events(root, len(pids), tid, pids, events)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def causal_to_chrome_trace(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Chrome ``trace_event`` JSON from a causal-trace document.
+
+    This is the shard-safe ``--chrome-trace`` path: every id is a
+    pure function of the (already shard-invariant) causal document —
+    pid = host in sorted order (router last), tid = invocation id,
+    event ``id`` = ``inv:src:seq`` — so the export diffs clean
+    between ``shards=1`` and ``shards=N``. ``phase`` events (the
+    restore-phase fold) become complete ("X") slices; everything
+    else becomes an instant ("i") event on the invocation's track.
+    """
+    hosts: set = set()
+    for inv in doc["invocations"]:
+        for event in inv["events"]:
+            host = event["detail"].get("host")
+            if isinstance(host, str):
+                hosts.add(host)
+    pids = {host: pid for pid, host in enumerate(sorted(hosts))}
+    router_pid = len(pids)
+    events: List[Dict[str, Any]] = []
+    for inv in doc["invocations"]:
+        tid = inv["inv_id"]
+        last_host_pid = router_pid
+        for event in inv["events"]:
+            detail = event["detail"]
+            host = detail.get("host")
+            if isinstance(host, str):
+                last_host_pid = pids[host]
+                pid = last_host_pid
+            elif event["src"] >= 0:
+                pid = last_host_pid
+            else:
+                pid = router_pid
+            out: Dict[str, Any] = {
+                "name": (
+                    detail["name"]
+                    if event["kind"] == "phase"
+                    else event["kind"]
+                ),
+                "cat": "causal",
+                "ts": event["t_us"],
+                "pid": pid,
+                "tid": tid,
+                "id": f"{tid}:{event['src']}:{event['seq']}",
+                "args": {k: v for k, v in sorted(detail.items())},
+            }
+            if event["kind"] == "phase":
+                out["ph"] = "X"
+                out["dur"] = detail.get("duration_us") or 0.0
+            else:
+                out["ph"] = "i"
+                out["s"] = "t"
+            events.append(out)
     return {"traceEvents": events, "displayTimeUnit": "ms"}

@@ -1,0 +1,136 @@
+"""A failure flight recorder for the cluster plane.
+
+Keeps a bounded ring buffer of recent scheduler, fault, and
+page-cache events *per host*, and snapshots those rings into a
+postmortem document whenever something goes wrong — an invocation
+fails, a host crashes, or an SLO burn-rate alert fires. The point is
+the same as an aircraft flight recorder: when the failure is
+noticed, the interesting events are the ones *just before* it, and
+full tracing of a long run is too heavy to keep around on the
+off-chance.
+
+Recording is pure-Python deque appends driven from code paths the
+scheduler already executes — no simulation events, no RNG — so an
+attached recorder keeps the cluster latency checksum bit-identical
+(zero-perturbation contract). The recorder is a single-heap /
+service-plane instrument: shard workers do not carry one (rings
+would have to cross the result pipes every barrier), which mirrors
+the existing ``--trace-out`` scoping.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+FLIGHT_SCHEMA = "repro.flight-recorder/1"
+
+#: Ring key for events not attributable to a single host (routing,
+#: SLO alerts, budget exhaustion).
+CLUSTER_RING = "cluster"
+
+
+class FlightRecorder:
+    """Per-host bounded event rings plus triggered postmortem dumps.
+
+    ``capacity_per_host`` bounds each ring; ``max_postmortems``
+    bounds how many full dumps are retained (the *first* N — during
+    a failure storm the earliest dumps describe the onset, the rest
+    repeat it). Every trigger past the cap still counts in
+    ``dump_triggers``.
+    """
+
+    def __init__(
+        self, capacity_per_host: int = 256, max_postmortems: int = 16
+    ):
+        if capacity_per_host < 1:
+            raise ValueError("capacity_per_host must be >= 1")
+        if max_postmortems < 1:
+            raise ValueError("max_postmortems must be >= 1")
+        self.capacity_per_host = capacity_per_host
+        self.max_postmortems = max_postmortems
+        self._rings: Dict[str, deque] = {}
+        self.postmortems: List[dict] = []
+        self.recorded = 0
+        self.dump_triggers = 0
+
+    def _ring(self, host: str) -> deque:
+        ring = self._rings.get(host)
+        if ring is None:
+            ring = deque(maxlen=self.capacity_per_host)
+            self._rings[host] = ring
+        return ring
+
+    def record(
+        self, t_us: float, host: str, kind: str, **detail: Any
+    ) -> None:
+        """Append one event to ``host``'s ring (oldest falls out)."""
+        self.recorded += 1
+        self._ring(host).append(
+            {"t_us": round(t_us, 3), "kind": kind, **detail}
+        )
+
+    def dump(self, t_us: float, reason: str, **context: Any) -> Optional[dict]:
+        """Snapshot every ring into a postmortem.
+
+        ``context`` carries whatever the trigger site knows (the
+        failing invocation, the crashed host, the fired alert, SLO
+        and health status). Returns the postmortem, or None when the
+        retention cap already swallowed it.
+        """
+        self.dump_triggers += 1
+        if len(self.postmortems) >= self.max_postmortems:
+            return None
+        postmortem = {
+            "t_us": round(t_us, 3),
+            "reason": reason,
+            "context": context,
+            "rings": {
+                host: list(ring)
+                for host, ring in sorted(self._rings.items())
+            },
+        }
+        self.postmortems.append(postmortem)
+        return postmortem
+
+    def document(self) -> dict:
+        """The full recorder state as a JSON-ready document."""
+        return {
+            "schema": FLIGHT_SCHEMA,
+            "capacity_per_host": self.capacity_per_host,
+            "recorded": self.recorded,
+            "dump_triggers": self.dump_triggers,
+            "postmortems_retained": len(self.postmortems),
+            "rings": {
+                host: list(ring)
+                for host, ring in sorted(self._rings.items())
+            },
+            "postmortems": list(self.postmortems),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.document(), indent=2, sort_keys=True)
+
+
+def render_postmortem(postmortem: dict) -> str:
+    """Readable rendering of one postmortem (docs/debug helper)."""
+    lines = [
+        f"postmortem @ {postmortem['t_us'] / 1000:.3f} ms — "
+        f"{postmortem['reason']}"
+    ]
+    for key, value in sorted(postmortem.get("context", {}).items()):
+        lines.append(f"  {key}: {value}")
+    for host, ring in postmortem.get("rings", {}).items():
+        lines.append(f"  [{host}] last {len(ring)} events:")
+        for event in ring:
+            detail = " ".join(
+                f"{k}={v}"
+                for k, v in sorted(event.items())
+                if k not in ("t_us", "kind")
+            )
+            lines.append(
+                f"    {event['t_us'] / 1000:10.3f} ms  {event['kind']}"
+                f"{(' ' + detail) if detail else ''}"
+            )
+    return "\n".join(lines)

@@ -41,28 +41,48 @@ class Span:
             raise ValueError(f"span {self.name!r} is still open")
         return self.end_us - self.start_us
 
+    def duration_until(self, clock_us: float) -> float:
+        """Elapsed time with open spans clamped to ``clock_us``.
+
+        A span drained mid-flight (e.g. a tracer exported while the
+        simulation still has work queued) has no end; its observed
+        duration is "at least clock - start". The clamp never goes
+        negative — a span opened after ``clock_us`` reads as 0.
+        """
+        end = self.end_us if self.end_us is not None else clock_us
+        return max(0.0, end - self.start_us)
+
     def annotate(self, note: str) -> None:
         self.annotations.append(note)
 
     def tag(self, key: str, value: str) -> None:
         self.tags[key] = value
 
-    def to_dict(self) -> dict:
+    def to_dict(self, clamp_to_us: Optional[float] = None) -> dict:
         """JSON-ready representation (Zipkin-flavoured fields).
 
-        Still-open spans serialize with ``duration_us: null`` and an
-        explicit ``open: true`` marker, so consumers can branch on the
-        marker instead of discovering the null arithmetically.
+        Still-open spans serialize with an explicit ``open: true``
+        marker, so consumers can branch on the marker instead of
+        discovering a null arithmetically. Without ``clamp_to_us``
+        their ``duration_us`` is ``null``; with it (the drain-time
+        clock, typically ``env.now``) the duration is clamped to the
+        clock — "ran at least this long" — while ``open`` stays true.
         """
+        if self.end_us is not None:
+            duration = self.end_us - self.start_us
+        elif clamp_to_us is not None:
+            duration = self.duration_until(clamp_to_us)
+        else:
+            duration = None
         d = {
             "name": self.name,
             "timestamp_us": self.start_us,
-            "duration_us": (
-                self.end_us - self.start_us if self.end_us is not None else None
-            ),
+            "duration_us": duration,
             "annotations": list(self.annotations),
             "tags": dict(self.tags),
-            "children": [child.to_dict() for child in self.children],
+            "children": [
+                child.to_dict(clamp_to_us) for child in self.children
+            ],
         }
         if self.end_us is None:
             d["open"] = True
@@ -181,10 +201,15 @@ class Tracer:
 
         return _SpanContext()
 
-    def to_json(self) -> str:
-        """All recorded root spans as a JSON document."""
+    def to_json(self, clamp_to_us: Optional[float] = None) -> str:
+        """All recorded root spans as a JSON document.
+
+        ``clamp_to_us`` (typically ``env.now`` at export time) clamps
+        still-open spans' durations to the clock; see
+        :meth:`Span.to_dict`.
+        """
         return json.dumps(
-            [root.to_dict() for root in self.roots],
+            [root.to_dict(clamp_to_us) for root in self.roots],
             indent=2,
             sort_keys=True,
         )
@@ -195,17 +220,25 @@ def export_json(tracer: Tracer) -> str:
     return tracer.to_json()
 
 
-def render_trace(span: Span, indent: int = 0) -> str:
-    """Indented text rendering of a span tree (a textual Zipkin)."""
+def render_trace(
+    span: Span, indent: int = 0, clamp_to_us: Optional[float] = None
+) -> str:
+    """Indented text rendering of a span tree (a textual Zipkin).
+
+    Open spans render as ``open`` with no duration, or — when
+    ``clamp_to_us`` supplies the drain-time clock — as
+    ``>= X ms (open)``, the clamped lower bound on their duration.
+    """
     pad = "  " * indent
-    duration = (
-        f"{span.duration_us / 1000:.2f} ms"
-        if span.end_us is not None
-        else "open"
-    )
+    if span.end_us is not None:
+        duration = f"{span.duration_us / 1000:.2f} ms"
+    elif clamp_to_us is not None:
+        duration = f">= {span.duration_until(clamp_to_us) / 1000:.2f} ms (open)"
+    else:
+        duration = "open"
     lines = [f"{pad}{span.name}: {duration}"]
     for note in span.annotations:
         lines.append(f"{pad}  - {note}")
     for child in span.children:
-        lines.append(render_trace(child, indent + 1))
+        lines.append(render_trace(child, indent + 1, clamp_to_us))
     return "\n".join(lines)

@@ -33,6 +33,8 @@ from repro.service.commands import (
     DrainHostCommand,
     InjectCommand,
     SetKeepaliveCommand,
+    SetSloCommand,
+    SloStatusCommand,
     SnapshotTelemetryCommand,
     StatusCommand,
     SwapPlacementCommand,
@@ -70,6 +72,8 @@ __all__ = [
     "JournalWriter",
     "ServiceError",
     "SetKeepaliveCommand",
+    "SetSloCommand",
+    "SloStatusCommand",
     "SnapshotTelemetryCommand",
     "StatusCommand",
     "SwapPlacementCommand",

@@ -19,6 +19,8 @@ are skipped by the CLI)::
     disarm                         # cancel armed faults, heal degradations
     set-keepalive MS               # retune the keep-alive TTL
     snapshot-telemetry             # emit a telemetry delta, pin its digest
+    set-slo JSON                   # install SLO objectives + burn-rate rules
+    slo-status                     # evaluate the SLO monitor, pin its digest
     status                         # read-only state probe (not journaled)
     drain                          # stop intake, serve out, finish the run
 """
@@ -159,6 +161,34 @@ class SnapshotTelemetryCommand(Command):
 
 
 @dataclass(frozen=True)
+class SetSloCommand(Command):
+    """Install (or replace) the run's SLO monitor. ``config`` is the
+    :meth:`~repro.metrics.slo.SloMonitor.config_dict` wire form; an
+    empty dict installs the default objectives and rules. Replacing
+    the monitor resets its rolling windows — retuning mid-run starts
+    the burn-rate evaluation fresh from the current instant."""
+
+    config: Dict[str, Any] = field(default_factory=dict)
+    name = "set-slo"
+
+    # ``config`` is a dict, so frozen-dataclass hashing is off the
+    # table; commands are values, never dict keys.
+    __hash__ = None  # type: ignore[assignment]
+
+    def args_dict(self) -> Dict[str, Any]:
+        return {"config": self.config}
+
+
+@dataclass(frozen=True)
+class SloStatusCommand(Command):
+    """Evaluate the SLO monitor at the current virtual time and pin
+    the resulting document's digest in the journal (replay must agree
+    on every burn rate and alert)."""
+
+    name = "slo-status"
+
+
+@dataclass(frozen=True)
 class StatusCommand(Command):
     name = "status"
 
@@ -181,6 +211,8 @@ COMMAND_TYPES: Dict[str, Type[Command]] = {
         DisarmCommand,
         SetKeepaliveCommand,
         SnapshotTelemetryCommand,
+        SetSloCommand,
+        SloStatusCommand,
         StatusCommand,
         DrainCommand,
     )
@@ -213,6 +245,8 @@ def command_from_dict(doc: Dict[str, Any]) -> Command:
             return ArmCommand(plan=dict(args.get("plan") or {}))
         if cls is SetKeepaliveCommand:
             return SetKeepaliveCommand(ttl_ms=float(args["ttl_ms"]))
+        if cls is SetSloCommand:
+            return SetSloCommand(config=dict(args.get("config") or {}))
     except KeyError as exc:
         raise CommandError(
             f"command {name!r} missing argument {exc.args[0]!r}"
@@ -267,6 +301,10 @@ def parse_command(line: str) -> Command:
             return SetKeepaliveCommand(ttl_ms=float(rest))
         if head == "snapshot-telemetry":
             return SnapshotTelemetryCommand()
+        if head == "set-slo":
+            return SetSloCommand(config=json.loads(rest) if rest else {})
+        if head == "slo-status":
+            return SloStatusCommand()
         if head == "status":
             return StatusCommand()
         if head == "drain":

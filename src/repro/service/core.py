@@ -47,6 +47,7 @@ from repro.fleet.workload import (
     synthesize_fleet,
 )
 from repro.metrics.exporters import DeltaExporter
+from repro.metrics.slo import SloMonitor
 from repro.metrics.telemetry import Sampler
 from repro.service.commands import (
     AddHostCommand,
@@ -58,6 +59,8 @@ from repro.service.commands import (
     DrainHostCommand,
     InjectCommand,
     SetKeepaliveCommand,
+    SetSloCommand,
+    SloStatusCommand,
     SnapshotTelemetryCommand,
     StatusCommand,
     SwapPlacementCommand,
@@ -94,10 +97,22 @@ class ClusterService:
         sampler_interval_us: Optional[float] = None,
         fault_plan: Optional[FaultPlan] = None,
         journal: Optional[JournalWriter] = None,
+        causal=None,
+        slo: Optional[SloMonitor] = None,
+        flight=None,
     ):
         self.simulator = simulator
         self._source = arrival_source
         self._journal = journal
+        # The observability plane rides on simulator attributes that
+        # ``_begin_run`` picks up (``getattr`` with a None default),
+        # so they must be installed before it runs.
+        simulator._causal = causal
+        simulator._slo = slo
+        simulator._flight = flight
+        self.causal = causal
+        self.slo = slo
+        self.flight = flight
         # Mirror the legacy batch ``run`` construction order exactly:
         # _begin_run, then sampler creation + start, then the driver
         # process — anything else would shift event sequence numbers.
@@ -226,6 +241,24 @@ class ClusterService:
         ).hexdigest()
         return doc, digest
 
+    def slo_status(self) -> Tuple[Dict[str, Any], str]:
+        """The SLO monitor's canonical status document at the current
+        virtual time, plus its SHA-256 (the digest extension
+        ``slo-status`` pins). With no monitor installed the document
+        is ``{"enabled": false}`` so replays of an SLO-free run still
+        digest identically."""
+        monitor = getattr(self.simulator, "_slo", None)
+        if monitor is None:
+            doc: Dict[str, Any] = {"enabled": False}
+            sha = hashlib.sha256(
+                json.dumps(
+                    doc, sort_keys=True, separators=(",", ":")
+                ).encode()
+            ).hexdigest()
+            return doc, sha
+        now = self.env.now - (self._epoch_us or 0.0)
+        return monitor.status_sha(now)
+
     # -- command execution ---------------------------------------------
 
     def execute(self, command: Command) -> Dict[str, Any]:
@@ -236,8 +269,9 @@ class ClusterService:
             return self.status()
         result = self._apply(command, pulled=None)
         digest = self.digest()
-        if "telemetry_sha256" in result:
-            digest["telemetry_sha256"] = result["telemetry_sha256"]
+        for key in ("telemetry_sha256", "slo_sha256"):
+            if key in result:
+                digest[key] = result[key]
         if self._journal is not None:
             self._entry_seq += 1
             entry: Dict[str, Any] = {
@@ -265,8 +299,9 @@ class ClusterService:
             ]
         result = self._apply(command, pulled=pulled)
         digest = self.digest()
-        if "telemetry_sha256" in result:
-            digest["telemetry_sha256"] = result["telemetry_sha256"]
+        for key in ("telemetry_sha256", "slo_sha256"):
+            if key in result:
+                digest[key] = result[key]
         result["digest"] = digest
         return result
 
@@ -274,7 +309,8 @@ class ClusterService:
         self, command: Command, pulled: Optional[List[Arrival]]
     ) -> Dict[str, Any]:
         if self._finished and not isinstance(
-            command, (StatusCommand, SnapshotTelemetryCommand)
+            command,
+            (StatusCommand, SnapshotTelemetryCommand, SloStatusCommand),
         ):
             raise ServiceError(
                 f"service already drained; {command.name!r} rejected"
@@ -336,6 +372,14 @@ class ClusterService:
         if isinstance(command, SnapshotTelemetryCommand):
             doc, sha = self.telemetry_delta()
             return {"telemetry": doc, "telemetry_sha256": sha}
+        if isinstance(command, SetSloCommand):
+            monitor = SloMonitor.from_dict(command.config)
+            sim._slo = monitor
+            self.slo = monitor
+            return {"slo": monitor.config_dict()}
+        if isinstance(command, SloStatusCommand):
+            doc, sha = self.slo_status()
+            return {"slo": doc, "slo_sha256": sha}
         if isinstance(command, DrainCommand):
             report = self.drain()
             return {
@@ -419,6 +463,7 @@ _SPEC_DEFAULTS: Dict[str, Any] = {
     "sampler_interval_us": None,
     "source": {"kind": "none"},
     "fault_plan": None,
+    "slo": None,
 }
 
 
@@ -440,6 +485,8 @@ def build_service(
     arrival_source: Optional[ArrivalSource] = None,
     journal: Optional[JournalWriter] = None,
     use_source: bool = True,
+    causal=None,
+    flight=None,
 ) -> ClusterService:
     """Build a :class:`ClusterService` from a spec dict (see
     :func:`normalize_spec` for keys and defaults).
@@ -494,6 +541,13 @@ def build_service(
         if spec["fault_plan"]
         else None
     )
+    # ``"slo": {}`` means "defaults"; only ``None`` disables the
+    # monitor (so journal replays rebuild exactly the spec's monitor).
+    slo = (
+        SloMonitor.from_dict(spec["slo"])
+        if spec["slo"] is not None
+        else None
+    )
     if journal is not None:
         journal.write_header(spec)
     return ClusterService(
@@ -502,6 +556,9 @@ def build_service(
         sampler_interval_us=spec["sampler_interval_us"],
         fault_plan=fault_plan,
         journal=journal,
+        causal=causal,
+        slo=slo,
+        flight=flight,
     )
 
 

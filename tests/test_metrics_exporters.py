@@ -145,10 +145,11 @@ def test_chrome_trace_groups_pids_by_host_and_tids_by_root():
     b.tag("host", "host0")
     tracer.record("a.child", 1.0, 2.0, parent=a)
     events = {e["name"]: e for e in to_chrome_trace(tracer)["traceEvents"]}
-    # pids follow first-seen host order; children inherit the parent's.
-    assert events["a"]["pid"] == 0
-    assert events["b"]["pid"] == 1
-    assert events["a.child"]["pid"] == 0
+    # pids follow sorted host-name order (stable across shard counts
+    # and span completion order); children inherit the parent's.
+    assert events["a"]["pid"] == 1
+    assert events["b"]["pid"] == 0
+    assert events["a.child"]["pid"] == 1
     assert events["a"]["tid"] == 0
     assert events["b"]["tid"] == 1
     assert events["a.child"]["tid"] == 0
