@@ -122,7 +122,10 @@ CLUSTER_HOSTS = 4
 
 
 def run_cluster_workload(
-    sampler_interval_us=None, fault_plan=None, observability=False
+    sampler_interval_us=None,
+    fault_plan=None,
+    observability=False,
+    durability=None,
 ) -> dict:
     """Serve a dense fleet trace on the multi-host cluster scheduler.
 
@@ -136,6 +139,9 @@ def run_cluster_workload(
     ``observability`` attaches the full PR-9 plane — causal tracer,
     SLO monitor, flight recorder — and extends the same contract:
     everything on must still be bit-identical to everything off.
+    ``durability`` passes a :class:`DurabilityPolicy`; the durability
+    smoke gate requires a disabled policy to be bit-identical to the
+    default (no policy at all).
     """
     from repro.cluster import ClusterConfig, ClusterSimulator
     from repro.fleet.workload import generate_arrivals, synthesize_fleet
@@ -152,6 +158,7 @@ def run_cluster_workload(
         num_hosts=CLUSTER_HOSTS,
         placement="least-loaded",
         keep_alive_ttl_us=30_000_000.0,
+        **({"durability": durability} if durability is not None else {}),
     )
     causal = slo = flight = None
     if observability:
@@ -550,6 +557,155 @@ def check_obs_smoke() -> int:
     return status
 
 
+def _durability_smoke_inputs():
+    from repro.cluster import ClusterConfig
+    from repro.faults import (
+        DurabilityPolicy,
+        FaultPlan,
+        RecoveryPolicy,
+    )
+    from repro.fleet.workload import Arrival, ArrivalTrace, FleetFunction
+
+    fleet = [
+        FleetFunction(
+            name=f"f{i}", profile_name="json", mean_interarrival_us=1e6
+        )
+        for i in range(3)
+    ]
+    arrivals = [
+        Arrival(time_us=i * 120_000.0, function=f"f{i % 3}")
+        for i in range(OBS_SMOKE_ARRIVALS)
+    ]
+    trace = ArrivalTrace(
+        arrivals=arrivals, duration_us=OBS_SMOKE_ARRIVALS * 120_000.0
+    )
+    plan = FaultPlan.from_dict(
+        {
+            "corruptions": [
+                {"host": f"host{h}", "function": f"f{f}", "at_us": at}
+                for h, f, at in (
+                    (0, 0, 200_000.0),
+                    (1, 1, 900_000.0),
+                    (2, 2, 1_600_000.0),
+                    (3, 0, 2_400_000.0),
+                    (0, 1, 3_800_000.0),
+                    (2, 0, 5_200_000.0),
+                )
+            ]
+        }
+    )
+    config = ClusterConfig(
+        num_hosts=4,
+        seed=7,
+        recovery=RecoveryPolicy.full(),
+        durability=DurabilityPolicy(
+            enabled=True,
+            replicas=2,
+            scrub_interval_us=1_500_000.0,
+        ),
+    )
+    return fleet, trace, plan, config
+
+
+def check_durability_smoke() -> int:
+    """CI gate for the PR-10 durability subsystem.
+
+    Two byte-level contracts:
+
+    1. **Disabled means gone** — the cluster smoke workload with an
+       explicit disabled :class:`DurabilityPolicy` must match the
+       no-policy run's invocation count and latency checksum exactly
+       (the legacy checksum behaviour is untouched).
+    2. **Shard invariance** — a corruption-heavy 4-host run with
+       durability (verified restores, 2 replicas, background scrub)
+       at ``shards=1`` and ``shards=2`` must produce byte-identical
+       detection/repair event streams and identical detection
+       counters.
+    """
+    from repro.cluster import ShardedClusterSimulator
+    from repro.faults import DurabilityPolicy
+
+    status = 0
+
+    plain = run_cluster_workload()
+    disabled = run_cluster_workload(durability=DurabilityPolicy())
+    for exact_key in ("invocations", "latency_checksum_us"):
+        if disabled[exact_key] != plain[exact_key]:
+            print(
+                f"FAIL: disabled-durability cluster {exact_key} "
+                f"{disabled[exact_key]} != no-policy "
+                f"{plain[exact_key]} — verification-off is not "
+                "bit-identical to the legacy path",
+                file=sys.stderr,
+            )
+            status = 1
+    print(
+        f"{'durability.disabled_parity':>30}: "
+        f"{'FAIL' if status else 'ok'} "
+        f"(checksum {plain['latency_checksum_us']})"
+    )
+
+    streams = {}
+    summaries = {}
+    for shards in (1, OBS_SMOKE_SHARDS):
+        fleet, trace, plan, config = _durability_smoke_inputs()
+        simulator = ShardedClusterSimulator(fleet, config, shards=shards)
+        report = simulator.run(trace, fault_plan=plan)
+        streams[shards] = json.dumps(
+            simulator.durability_events, sort_keys=True
+        )
+        summaries[shards] = {
+            "invocations": report.count(),
+            "latency_checksum_us": round(
+                sum(s.latency_us for s in report.served), 3
+            ),
+            "detected": report.fault_summary.get(
+                "corruptions_detected", 0
+            ),
+            "silent": report.fault_summary.get(
+                "silent_corrupt_serves", 0
+            ),
+        }
+        print(
+            f"{'durability.sharded[%d]' % shards:>30}: "
+            f"{report.count()} served, "
+            f"{summaries[shards]['detected']} detected, "
+            f"{len(simulator.durability_events)} durability events"
+        )
+    if streams[1] != streams[OBS_SMOKE_SHARDS]:
+        print(
+            f"FAIL: durability event stream differs between shards=1 "
+            f"and shards={OBS_SMOKE_SHARDS} — the detection/repair "
+            "plane is not shard-invariant",
+            file=sys.stderr,
+        )
+        status = 1
+    if summaries[1] != summaries[OBS_SMOKE_SHARDS]:
+        print(
+            f"FAIL: durability summaries differ between shards=1 and "
+            f"shards={OBS_SMOKE_SHARDS}: {summaries[1]} != "
+            f"{summaries[OBS_SMOKE_SHARDS]}",
+            file=sys.stderr,
+        )
+        status = 1
+    if summaries[1]["silent"]:
+        print(
+            f"FAIL: {summaries[1]['silent']} corrupted restore(s) "
+            "served silently with verification on",
+            file=sys.stderr,
+        )
+        status = 1
+    if status == 0:
+        print(
+            "OK: durability smoke — disabled policy bit-identical to "
+            "no policy, detection/repair stream byte-identical across "
+            f"shards=1/{OBS_SMOKE_SHARDS} "
+            f"({len(streams[1])} bytes, "
+            f"{summaries[1]['detected']} detected, 0 silent)"
+        )
+    return status
+
+
 def time_figures(names) -> dict:
     """Regenerate whole experiments; wall-clock seconds per id."""
     from repro.experiments import ALL_EXPERIMENTS
@@ -607,6 +763,13 @@ def main() -> int:
         help="observability gate: all-on (causal+slo+flight) run must "
         "be bit-identical to all-off, and the causal trace document "
         "byte-identical across shard counts",
+    )
+    parser.add_argument(
+        "--durability-smoke",
+        action="store_true",
+        help="durability gate: a disabled DurabilityPolicy must be "
+        "bit-identical to no policy, and the detection/repair event "
+        "stream byte-identical across shard counts",
     )
     parser.add_argument(
         "--sharded-scale",
@@ -687,6 +850,9 @@ def main() -> int:
 
     if args.obs_smoke:
         return check_obs_smoke()
+
+    if args.durability_smoke:
+        return check_durability_smoke()
 
     if args.sharded_scale:
         status, metrics = check_sharded_scale(
@@ -849,6 +1015,7 @@ def main() -> int:
             or status
         )
         status = check_obs_smoke() or status
+        status = check_durability_smoke() or status
 
     if status == 0:
         print(

@@ -307,6 +307,13 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         args.functions, seed=args.seed, profile_names=("json", "pyaes")
     )
     trace = generate_arrivals(fleet, args.hours * US_PER_HOUR, seed=args.seed)
+    durability = None
+    if args.durability is not None:
+        from repro.faults import DurabilityPolicy
+
+        doc = json.loads(args.durability)
+        doc.setdefault("enabled", True)
+        durability = DurabilityPolicy.from_dict(doc)
     config = ClusterConfig(
         num_hosts=args.hosts,
         placement=args.placement,
@@ -315,6 +322,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         memory_budget_mb=args.memory_gb * 1024,
         snapshot_tier=args.tier,
         max_concurrent_per_host=args.max_concurrent,
+        **({"durability": durability} if durability is not None else {}),
     )
     tracer = Tracer() if args.trace_out or args.chrome_trace else None
     sampler_interval_us = (
@@ -390,6 +398,22 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         ["cold %", report.fraction(StartKind.COLD) * 100],
         ["evictions", report.evictions],
     ]
+    if durability is not None:
+        summary = (
+            simulator.durability.summary()
+            if getattr(simulator, "durability", None) is not None
+            else report.fault_summary
+        )
+        for name in (
+            "detected_restore",
+            "detected_scrub",
+            "silent_corrupt_serves",
+            "quarantines",
+            "repairs",
+            "rebuilds",
+        ):
+            if summary.get(name):
+                rows.append([f"durability: {name}", summary[name]])
     print(
         render_table(
             ["metric", "value"],
@@ -565,6 +589,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "source": source_stanza,
         "slo": json.loads(args.slo) if args.slo is not None else None,
     }
+    if args.durability is not None:
+        # Same convention as `cluster --durability`: passing the flag
+        # implies enabling. The raw dict (not the policy) goes in the
+        # spec so the journal header stays JSON and replays rebuild it.
+        durability_doc = json.loads(args.durability)
+        durability_doc.setdefault("enabled", True)
+        spec["durability"] = durability_doc
     causal = None
     if args.causal_trace:
         from repro.metrics.causal import CausalTracer
@@ -661,8 +692,8 @@ def _repl_lines():
         "live cluster service — commands: advance MS | inject T:FN... | "
         "add-host | drain-host H | undrain-host H | swap-placement P | "
         "arm JSON | disarm | set-keepalive MS | snapshot-telemetry | "
-        "set-slo JSON | slo-status | status | drain "
-        "(^D quits, draining first)",
+        "set-slo JSON | slo-status | scrub | durability-status | "
+        "status | drain (^D quits, draining first)",
         file=sys.stderr,
     )
     while True:
@@ -730,6 +761,19 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             print(
                 f"FAIL: {name} availability {report.availability:.4f} "
                 f"below required {args.min_availability:.4f}",
+                file=sys.stderr,
+            )
+            status = 1
+        if (
+            args.min_detection is not None
+            and report.detection_rate < args.min_detection
+        ):
+            print(
+                f"FAIL: {name} corruption detection rate "
+                f"{report.detection_rate:.4f} below required "
+                f"{args.min_detection:.4f} "
+                f"({report.silent_corrupt_serves} silent corrupt "
+                f"serve(s))",
                 file=sys.stderr,
             )
             status = 1
@@ -954,6 +998,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cluster.add_argument("--seed", type=int, default=1)
     cluster.add_argument(
+        "--durability",
+        default=None,
+        metavar="JSON",
+        help="enable the snapshot durability subsystem "
+        "(DurabilityPolicy JSON, e.g. '{\"enabled\": true, "
+        "\"replicas\": 2}'; '{}' enables verified restores with "
+        "the defaults)",
+    )
+    cluster.add_argument(
         "--shards",
         type=int,
         default=0,
@@ -1098,6 +1151,15 @@ def build_parser() -> argparse.ArgumentParser:
         "it); inspect with the slo-status command",
     )
     serve.add_argument(
+        "--durability",
+        default=None,
+        metavar="JSON",
+        help="arm the snapshot durability plane ('{}' for verified "
+        "restores with the defaults; recorded in the journal spec, so "
+        "replays rebuild it); inspect with durability-status, sweep "
+        "with scrub",
+    )
+    serve.add_argument(
         "--causal-trace",
         default=None,
         metavar="FILE",
@@ -1154,6 +1216,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FRACTION",
         help="exit non-zero if any drill's availability falls below "
         "this fraction",
+    )
+    chaos.add_argument(
+        "--min-detection",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="exit non-zero if any drill's corruption detection rate "
+        "falls below this fraction (1.0 = no corrupted restore may "
+        "complete ok)",
     )
     chaos.add_argument(
         "--slo",

@@ -48,9 +48,12 @@ from repro.cluster.placement import (
     make_placement,
 )
 from repro.faults import (
+    DISABLED_DURABILITY,
     DISABLED_RECOVERY,
     DeadlineExceeded,
     DeviceError,
+    DurabilityManager,
+    DurabilityPolicy,
     FaultInjector,
     FaultPlan,
     HealthMonitor,
@@ -60,6 +63,7 @@ from repro.faults import (
     RetryBudget,
     SnapshotCorrupted,
 )
+from repro.faults.durability import VERIFY_CORRUPT, VERIFY_SILENT
 from repro.faults.errors import FaultError
 from repro.metrics.causal import ROUTER_SRC, TraceContext
 from repro.metrics.flight import CLUSTER_RING
@@ -143,6 +147,11 @@ class ClusterConfig:
     #: Run seed: the environment's single randomness stream (fault
     #: error draws, backoff jitter) derives from it.
     seed: int = 0
+    #: Snapshot durability plane (per-chunk checksums, replicas,
+    #: verified restores, scrubbing). Disabled by default, which
+    #: keeps the run bit-identical to pre-durability behaviour;
+    #: enabling it routes serving through the robust path.
+    durability: DurabilityPolicy = DISABLED_DURABILITY
 
     def __post_init__(self) -> None:
         if self.num_hosts < 1:
@@ -197,6 +206,8 @@ class ClusterReport(FleetReport):
     prep_us: float = 0.0
     placement: str = ""
     snapshot_tier: str = TIER_LOCAL_NVME
+    #: Injector + durability counters (empty on an unarmed run).
+    fault_summary: Dict[str, int] = field(default_factory=dict)
 
     def count_on(self, host: str) -> int:
         return sum(1 for s in self.served if s.host == host)
@@ -400,8 +411,12 @@ class ClusterSimulator(ClusterScheduler):
         #: Armed = the run wants the robust serving path. An empty
         #: plan still arms it (you asked for fault machinery; you get
         #: its code path, which must then be behaviour-identical).
-        self._armed = fault_plan is not None or bool(
-            recovery.armed_features
+        #: The durability plane also arms it: verified restores and
+        #: replica failover live on the attempt path.
+        self._armed = (
+            fault_plan is not None
+            or bool(recovery.armed_features)
+            or self.config.durability.enabled
         )
         self._report = ClusterReport(
             placement=self.config.placement,
@@ -432,8 +447,10 @@ class ClusterSimulator(ClusterScheduler):
         self._ctr_evictions = counter("cluster.scheduler.evictions")
         self.injector: Optional[FaultInjector] = None
         self.monitor: Optional[HealthMonitor] = None
+        self.durability: Optional[DurabilityManager] = None
         self._retry_budget: Optional[RetryBudget] = None
         self._hedge_tracker: Optional[HedgeTracker] = None
+        self._checksum_cache: Dict[Any, Any] = {}
         self._robust_ready = False
         if self._armed:
             self._install_robust_machinery()
@@ -442,6 +459,16 @@ class ClusterSimulator(ClusterScheduler):
             )
         self._build_hosts(env, tracer)
         self._host_by_id = {hs.host.host_id: hs for hs in self._hosts}
+        if self.config.durability.enabled:
+            self.durability = DurabilityManager(
+                env,
+                self.config.durability,
+                checksum_fn=self._snapshot_checksums,
+                budget_fn=lambda: self._retry_budget,
+                observer=self._durability_observer,
+            )
+            if self.injector is not None:
+                self.injector.durability = self.durability
         if self._armed and recovery.health.enabled:
             self.monitor = HealthMonitor(
                 env,
@@ -493,6 +520,15 @@ class ClusterSimulator(ClusterScheduler):
             stats.device_bytes_read = hs.host.device.stats.bytes_read
             stats.device_queue_wait_us = hs.host.device.stats.queue_wait_us
             report.host_stats[stats.host] = stats
+        if self.injector is not None:
+            report.fault_summary = self.injector.summary()
+        #: Merged durability event stream of the run (the sharded
+        #: path overwrites this with its cross-shard merge).
+        self.durability_events = (
+            list(self.durability.events)
+            if self.durability is not None
+            else []
+        )
         # Completion order depends on latencies; report in the
         # canonical arrival order instead so reports compare equal
         # across runs regardless of how service times interleave.
@@ -613,6 +649,9 @@ class ClusterSimulator(ClusterScheduler):
             self.injector.arm(self, epoch_us=prep_end)
         if self.monitor is not None:
             self.monitor.start()
+        if self.durability is not None:
+            for hs in self._hosts:
+                self.durability.start_scrubber(hs.host.host_id)
         return prep_end
 
     def _dispatch_arrival(
@@ -663,6 +702,8 @@ class ClusterSimulator(ClusterScheduler):
         """Tear down the serving epoch's periodic machinery."""
         if self.monitor is not None:
             self.monitor.stop()
+        if self.durability is not None:
+            self.durability.stop()
 
     # -- observability plane --------------------------------------------
     #
@@ -769,6 +810,64 @@ class ClusterSimulator(ClusterScheduler):
         ring of the host (or scope) they hit."""
         self._flight_record(scope, kind, **detail)
 
+    # -- durability plane -----------------------------------------------
+
+    def _snapshot_checksums(self, host_id: str, function: str):
+        """Golden per-chunk checksums of ``function``'s snapshot
+        artefacts on ``host_id`` (``None`` before its record phase).
+        Cached per (host, function): artefact contents are fixed at
+        record time."""
+        key = (host_id, function)
+        cached = self._checksum_cache.get(key)
+        if cached is not None:
+            return cached
+        hs = self._host_by_id.get(host_id)
+        if hs is None:
+            return None
+        config = self.config
+        artifacts = hs.host.cached_artifacts(
+            function, config.record_input, config.restore_policy
+        )
+        if artifacts is None:
+            artifacts = hs.host.cached_artifacts(
+                function, config.record_input, Policy.WARM
+            )
+        if artifacts is None:
+            return None
+        checksums = artifacts.warm_snapshot.memory_file.chunk_checksums(
+            config.durability.chunk_pages
+        )
+        self._checksum_cache[key] = checksums
+        return checksums
+
+    def _durability_observer(
+        self, kind: str, host: str, **detail: Any
+    ) -> None:
+        """Durability-manager callback: scrub/quarantine/repair events
+        land in the host's flight ring, and a quarantine triggers a
+        postmortem dump (the repair timeline leading up to it)."""
+        self._flight_record(host, kind, **detail)
+        if kind == "durability.quarantine":
+            self._flight_dump("replica-quarantined", host=host, **detail)
+
+    def durability_status(self) -> Dict[str, Any]:
+        """Canonical durability-plane document (the
+        ``durability-status`` service command)."""
+        if self.durability is None:
+            return {"enabled": False}
+        doc: Dict[str, Any] = {"enabled": True}
+        doc.update(self.durability.status())
+        return doc
+
+    def run_scrub(self) -> Dict[str, Any]:
+        """Operator-forced scrub sweep over every host (the ``scrub``
+        service command); repairs queue in the background."""
+        if self.durability is None:
+            return {"enabled": False}
+        doc: Dict[str, Any] = {"enabled": True}
+        doc.update(self.durability.scrub_now())
+        return doc
+
     def _on_health_drain(self, state) -> None:
         self._flight_record(state.host.host_id, "health.drain")
 
@@ -795,6 +894,8 @@ class ClusterSimulator(ClusterScheduler):
         self.injector = FaultInjector(
             self.env, plan, observer=self._fault_observer
         )
+        if self.durability is not None:
+            self.injector.durability = self.durability
         self.injector.arm(self, epoch_us=self.env.now)
         return self.injector
 
@@ -1444,6 +1545,15 @@ class ClusterSimulator(ClusterScheduler):
                     config.assume_snapshots_exist
                     or function in hs.snapshots
                 )
+                if has_snapshot and self.durability is not None:
+                    # Replica-aware placement: with every replica
+                    # quarantined the snapshot is rebuilding, and the
+                    # restore falls through to a cold boot — the
+                    # rebuild-from-scratch leg of the escalation
+                    # chain, priced at the cold-start lower bound.
+                    has_snapshot = self.durability.has_readable(
+                        hs.host.host_id, function
+                    )
                 kind = (
                     StartKind.SNAPSHOT if has_snapshot else StartKind.COLD
                 )
@@ -1465,7 +1575,37 @@ class ClusterSimulator(ClusterScheduler):
                         kind=kind.value,
                     )
                 if kind is StartKind.SNAPSHOT:
-                    if (
+                    if self.durability is not None:
+                        # Verified restore: check the chosen replica's
+                        # stored checksums against the golden set at
+                        # read time. Detection quarantines the replica
+                        # and fails the attempt, so the recovery loop
+                        # retries — and the next pick fails over to a
+                        # healthy replica (or a cold rebuild).
+                        verdict = self.durability.verify_restore(
+                            hs.host.host_id, function
+                        )
+                        if verdict == VERIFY_CORRUPT:
+                            hs.stats.snapshot_corruptions += 1
+                            self._ctr_corrupt.inc()
+                            if ctx is not None:
+                                ctx.emit(
+                                    self._obs_now(),
+                                    "verify-failed",
+                                    attempt=attempt_no,
+                                    host=hs.host.host_id,
+                                )
+                            raise SnapshotCorrupted(
+                                hs.host.host_id, function
+                            )
+                        if verdict == VERIFY_SILENT and ctx is not None:
+                            ctx.emit(
+                                self._obs_now(),
+                                "verify-skipped",
+                                attempt=attempt_no,
+                                host=hs.host.host_id,
+                            )
+                    elif (
                         self.injector is not None
                         and self.injector.check_snapshot(
                             hs.host.host_id, function
@@ -1489,6 +1629,20 @@ class ClusterSimulator(ClusterScheduler):
             reserved_mb = 0.0
             hs.known_memory[function] = actual_mb
             hs.snapshots.add(function)
+            if self.durability is not None:
+                # A completed invocation (re)publishes the snapshot;
+                # for a fully-quarantined set this is the rebuild
+                # completing. Quarantined replicas of a partially
+                # healthy set are NOT touched — repair is the only
+                # healing path.
+                self.durability.publish(hs.host.host_id, function)
+            if kind is StartKind.SNAPSHOT and self.monitor is not None:
+                # Gray-failure signal: restore latency, fed to the
+                # fail-slow outlier score (recording only unless
+                # ``fail_slow_factor`` is armed).
+                self.monitor.note_restore_latency(
+                    hs, env.now - started
+                )
 
             now = env.now
             vm.busy_until = now

@@ -182,6 +182,9 @@ def plan_for_host(
         corruptions=tuple(
             c for c in plan.corruptions if c.host == host_id
         ),
+        fail_slows=tuple(
+            s for s in plan.fail_slows if s.host == host_id
+        ),
     )
 
 
@@ -323,6 +326,8 @@ class _ShardHostSim(ClusterSimulator):
             self.injector.arm(self, epoch_us=self._epoch)
         if self.monitor is not None:
             self.monitor.start()
+        if self.durability is not None:
+            self.durability.start_scrubber(self._host_id(0))
         self._served_cursor = 0
         self._out_completions: List[_Completion] = []
         self._out_failures: List[_Failure] = []
@@ -385,6 +390,12 @@ class _ShardHostSim(ClusterSimulator):
             "prep_us": report.prep_us,
             "snapshot": snapshot,
             "latency_histogram": self._latency_hist.histogram,
+            "fault_summary": dict(report.fault_summary),
+            "durability_events": (
+                self.durability.drain_events()
+                if self.durability is not None
+                else []
+            ),
         }
 
     # Internals --------------------------------------------------------
@@ -437,6 +448,15 @@ class _ShardHostSim(ClusterSimulator):
             "shared_bytes": shared_bytes,
             "window_events": window_events,
         }
+        if self.durability is not None:
+            # Quarantine-aware warm view: the router must not route a
+            # snapshot start at a host whose every replica is bad.
+            out["readable"] = tuple(
+                f
+                for f in out["snapshots"]
+                if self.durability.has_readable(hs.host.host_id, f)
+            )
+            out["durability_events"] = self.durability.drain_events()
         if self._causal_rec is not None:
             out["causal_events"] = self._causal_rec.drain()
         return out
@@ -860,6 +880,10 @@ class ShardedClusterSimulator:
         self.merged_metrics: Optional[Dict[str, Any]] = None
         self.latency_histogram: Optional[Histogram] = None
         self.windows_run = 0
+        #: Cross-shard merged durability events, sorted
+        #: ``(t_us, host, seq)`` — byte-identical across shard counts.
+        self.durability_events: List[Dict[str, Any]] = []
+        self._durability_events: List[Dict[str, Any]] = []
 
     def run(
         self,
@@ -875,7 +899,11 @@ class ShardedClusterSimulator:
         config = self.config
         H = config.num_hosts
         recovery = config.recovery
-        armed = fault_plan is not None or bool(recovery.armed_features)
+        armed = (
+            fault_plan is not None
+            or bool(recovery.armed_features)
+            or config.durability.enabled
+        )
         registry = MetricsRegistry()
         self.registry = registry
         inner = make_placement(config.placement)
@@ -1308,7 +1336,12 @@ class ShardedClusterSimulator:
         view.base_load = digest["load"]
         view.projected = 0
         view.idle_warm = frozenset(digest["idle_warm"])
-        view.snapshots = frozenset(digest["snapshots"])
+        # With the durability plane on, placement sees only snapshots
+        # with >= 1 readable replica; cluster-wide publication (below)
+        # still tracks everything ever captured.
+        view.snapshots = frozenset(
+            digest.get("readable", digest["snapshots"])
+        )
         view.healthy = digest["healthy"] and not digest["crashed"]
         view.crashed = digest["crashed"]
         if digest["tokens"] is not None:
@@ -1316,6 +1349,9 @@ class ShardedClusterSimulator:
         shared_bytes[index] = digest["shared_bytes"]
         if self.config.snapshot_tier == TIER_SHARED_EBS:
             published.update(digest["snapshots"])
+        self._durability_events.extend(
+            digest.get("durability_events", ())
+        )
 
     @staticmethod
     def _pick_failover_host(
@@ -1362,6 +1398,18 @@ class ShardedClusterSimulator:
             report.evictions += fin["evictions"]
             snapshots.append(fin["snapshot"])
             histograms.append(fin["latency_histogram"])
+            for key, value in fin.get("fault_summary", {}).items():
+                if isinstance(value, (int, float)):
+                    report.fault_summary[key] = (
+                        report.fault_summary.get(key, 0) + value
+                    )
+            self._durability_events.extend(
+                fin.get("durability_events", ())
+            )
+        self._durability_events.sort(
+            key=lambda e: (e["t_us"], e["host"], e["seq"])
+        )
+        self.durability_events = self._durability_events
         report.served.extend(served_router)
         report.served.sort(key=lambda s: (s.time_us, s.function))
         router_snapshot = registry_snapshot(self.registry)

@@ -29,6 +29,11 @@ recovery policy, the cluster produces bit-identical results to a run
 with no fault machinery at all (the perf harness gates this).
 """
 
+from repro.faults.durability import (
+    DISABLED_DURABILITY,
+    DurabilityManager,
+    DurabilityPolicy,
+)
 from repro.faults.errors import (
     DeadlineExceeded,
     DeviceError,
@@ -42,6 +47,7 @@ from repro.faults.plan import (
     SCOPE_ALL,
     SCOPE_SHARED,
     DeviceFault,
+    FailSlow,
     FaultPlan,
     HostCrash,
     SnapshotCorruption,
@@ -59,10 +65,14 @@ from repro.faults.recovery import (
 )
 
 __all__ = [
+    "DISABLED_DURABILITY",
     "DISABLED_RECOVERY",
     "DeadlineExceeded",
     "DeviceError",
     "DeviceFault",
+    "DurabilityManager",
+    "DurabilityPolicy",
+    "FailSlow",
     "FaultError",
     "FaultInjector",
     "FaultPlan",

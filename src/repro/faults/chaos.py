@@ -26,6 +26,7 @@ from repro.cluster.scheduler import (
     ClusterConfig,
     ClusterSimulator,
 )
+from repro.faults.durability import DurabilityPolicy
 from repro.faults.plan import (
     SCOPE_ALL,
     SCOPE_SHARED,
@@ -136,6 +137,31 @@ def _ebs_spike_plan(
     )
 
 
+def _bitrot_plan(
+    num_hosts: int, seed: int, duration_us: float
+) -> FaultPlan:
+    """Sustained bit-rot on the shared snapshot volume: corruption
+    waves keep landing on random (host, function) artefacts for the
+    whole run, so detection has to work under load, not just once."""
+    rng = random.Random(f"chaos|bitrot-storm|{seed}")
+    waves = 6
+    corruptions = []
+    for wave in range(waves):
+        at_frac = (wave + rng.uniform(0.1, 0.9)) / waves
+        for host in range(num_hosts):
+            if rng.random() < 0.6:
+                corruptions.append(
+                    SnapshotCorruption(
+                        host=f"host{host}",
+                        function=(
+                            f"f{rng.randrange(len(SCENARIO_PROFILES))}"
+                        ),
+                        at_us=at_frac * duration_us,
+                    )
+                )
+    return FaultPlan(corruptions=corruptions)
+
+
 SCENARIOS: Dict[str, ChaosScenario] = {
     s.name: s
     for s in (
@@ -163,6 +189,23 @@ SCENARIOS: Dict[str, ChaosScenario] = {
             config_overrides={
                 "assume_snapshots_exist": True,
                 "keep_alive_ttl_us": 0.0,
+            },
+        ),
+        ChaosScenario(
+            name="bitrot-storm",
+            description="sustained bit-rot on the shared snapshot "
+            "volume under load; every corrupted restore must be "
+            "caught by verified restore or the scrubber",
+            build_plan=_bitrot_plan,
+            config_overrides={
+                "snapshot_tier": TIER_SHARED_EBS,
+                "assume_snapshots_exist": True,
+                "keep_alive_ttl_us": 0.0,
+                "durability": DurabilityPolicy(
+                    enabled=True,
+                    replicas=2,
+                    scrub_interval_us=2_000_000.0,
+                ),
             },
         ),
         ChaosScenario(
@@ -235,6 +278,12 @@ class ChaosReport:
     baseline_p999_us: float
     fault_summary: Dict[str, int]
     host_failures: Dict[str, int]
+    #: Fraction of corruption encounters that were detected (verified
+    #: restore or scrubber) rather than served silently; 1.0 when the
+    #: drill produced no encounters at all.
+    detection_rate: float = 1.0
+    corruptions_detected: int = 0
+    silent_corrupt_serves: int = 0
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-ready dict; deterministic for a given (seed, plan) —
@@ -262,6 +311,9 @@ class ChaosReport:
             },
             "fault_summary": dict(sorted(self.fault_summary.items())),
             "host_failures": dict(sorted(self.host_failures.items())),
+            "detection_rate": self.detection_rate,
+            "corruptions_detected": self.corruptions_detected,
+            "silent_corrupt_serves": self.silent_corrupt_serves,
         }
 
     def render(self) -> str:
@@ -283,6 +335,10 @@ class ChaosReport:
         for name, value in sorted(self.fault_summary.items()):
             if value:
                 rows.append([f"fault: {name}", value])
+        if self.corruptions_detected or self.silent_corrupt_serves:
+            rows.append(
+                ["detection rate", f"{self.detection_rate:.4f}"]
+            )
         return render_table(
             ["metric", "value"],
             rows,
@@ -347,6 +403,12 @@ def run_chaos(
     )
 
     ok = len(report.ok_invocations())
+    summary = simulator.injector.summary()
+    detected = summary.get(
+        "corruptions_detected_restore", 0
+    ) + summary.get("corruptions_detected_scrub", 0)
+    silent = summary.get("silent_corrupt_serves", 0)
+    encounters = detected + silent
     return ChaosReport(
         scenario=scenario,
         seed=seed,
@@ -365,9 +427,14 @@ def run_chaos(
         baseline_p50_us=baseline.latency_percentile(50),
         baseline_p99_us=baseline.latency_percentile(99),
         baseline_p999_us=baseline.latency_percentile(99.9),
-        fault_summary=simulator.injector.summary(),
+        fault_summary=summary,
         host_failures={
             host: stats.failures
             for host, stats in report.host_stats.items()
         },
+        detection_rate=(
+            detected / encounters if encounters else 1.0
+        ),
+        corruptions_detected=detected,
+        silent_corrupt_serves=silent,
     )

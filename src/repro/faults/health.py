@@ -45,6 +45,9 @@ class HealthMonitor:
         self.drains = 0
         self.reintegrations = 0
         self.checks = 0
+        self.fail_slow_drains = 0
+        #: host_id -> [frozen baseline median | None, recent samples].
+        self._restore_latency: dict = {}
         self._proc = None
         registry = getattr(env, "metrics", None)
         if registry is not None:
@@ -88,6 +91,44 @@ class HealthMonitor:
         re-evaluate it immediately (fast drain)."""
         state.error_times.append(self.env.now)
         self._evaluate(state)
+
+    def note_restore_latency(self, state: Any, latency_us: float) -> None:
+        """Feed one successful restore latency into the fail-slow
+        outlier score (no-op unless ``policy.fail_slow_factor`` is
+        set).
+
+        A fail-slow host serves *correctly* at k× latency, so
+        ``note_failure`` never fires for it. Instead each host's
+        first ``fail_slow_min_samples`` latencies freeze a per-host
+        baseline median (self-relative, so heterogeneous fleets and
+        sharded execution both work), and the host drains when the
+        median of its most recent samples exceeds
+        ``fail_slow_factor ×`` that baseline. Reintegration reuses
+        the ordinary quiet-period path."""
+        factor = self.policy.fail_slow_factor
+        if factor is None:
+            return
+        cell = self._restore_latency.setdefault(
+            state.host.host_id, [None, []]
+        )
+        recent = cell[1]
+        recent.append(latency_us)
+        if len(recent) > self.policy.fail_slow_window:
+            del recent[: -self.policy.fail_slow_window]
+        if cell[0] is None:
+            if len(recent) >= self.policy.fail_slow_min_samples:
+                cell[0] = _median(recent)
+            return
+        if not state.healthy or getattr(state, "drained", False):
+            return
+        score = _median(recent[-self.policy.fail_slow_min_samples:])
+        if score > factor * cell[0]:
+            state.healthy = False
+            state.last_bad_us = self.env.now
+            self.drains += 1
+            self.fail_slow_drains += 1
+            if self.on_drain is not None:
+                self.on_drain(state)
 
     def check_now(self) -> None:
         """One sweep over every host (the periodic path; also drives
@@ -144,7 +185,19 @@ class HealthMonitor:
             "drains": self.drains,
             "reintegrations": self.reintegrations,
             "checks": self.checks,
+            "fail_slow_drains": self.fail_slow_drains,
             "unhealthy": sorted(
                 s.host.host_id for s in self.states if not s.healthy
             ),
         }
+
+
+def _median(values) -> float:
+    """Median with the usual even-count average — deterministic and
+    dependency-free."""
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0

@@ -44,6 +44,11 @@ class FaultInjector:
         #: (synchronously, purely for recording — the flight recorder)
         #: when a fault is applied or revoked. Never a sim event.
         self.observer = observer
+        #: Optional :class:`~repro.faults.durability.DurabilityManager`.
+        #: When attached, corruption events land on real replica
+        #: checksums instead of the latent side-channel set, and the
+        #: restore path detects them by verification.
+        self.durability: Optional[Any] = None
         self._corrupted: Set[Tuple[str, str]] = set()
         self._armed = False
         self._disarmed = False
@@ -63,6 +68,8 @@ class FaultInjector:
         self.host_reboots = 0
         self.corruptions_marked = 0
         self.corruptions_detected = 0
+        self.fail_slows_applied = 0
+        self.fail_slows_recovered = 0
 
     @property
     def armed(self) -> bool:
@@ -99,6 +106,11 @@ class FaultInjector:
                 self._corrupt(corruption, epoch),
                 f"fault.corrupt.{corruption.host}",
             )
+        for fail_slow in self.plan.fail_slows:
+            self._spawn(
+                self._fail_slow(target, fail_slow, epoch),
+                f"fault.slow.{fail_slow.host}",
+            )
 
     def _spawn(self, generator, name: str, cell=None) -> None:
         proc = self.env.process(generator, name=name)
@@ -134,11 +146,15 @@ class FaultInjector:
         if entry not in self._open_windows:
             return
         self._open_windows.remove(entry)
-        devices, degradation, scope = entry
+        devices, degradation, scope, kind = entry
         for device in devices:
             device.pop_degradation(degradation)
-        self.device_windows_closed += 1
-        self._notify("fault.device-window.close", scope)
+        if kind == "fail-slow":
+            self.fail_slows_recovered += 1
+            self._notify("fault.fail-slow.close", scope)
+        else:
+            self.device_windows_closed += 1
+            self._notify("fault.device-window.close", scope)
 
     def _register_metrics(self) -> None:
         registry = getattr(self.env, "metrics", None)
@@ -166,6 +182,10 @@ class FaultInjector:
         registry.pull_counter(
             f"{prefix}.corruptions_detected",
             lambda: self.corruptions_detected,
+        )
+        registry.pull_counter(
+            f"{prefix}.fail_slows_applied",
+            lambda: self.fail_slows_applied,
         )
         registry.gauge(
             f"{prefix}.corrupted_snapshots", lambda: len(self._corrupted)
@@ -195,7 +215,7 @@ class FaultInjector:
             latency_factor=fault.latency_factor,
             error_rate=fault.error_rate,
         )
-        entry = [devices, degradation, fault.scope]
+        entry = [devices, degradation, fault.scope, "device"]
         self._open_windows.append(entry)
         if fault.duration_us is None:
             return
@@ -204,6 +224,34 @@ class FaultInjector:
         except Interrupt:
             # Disarm revokes the window synchronously via
             # ``_close_window``; nothing left to do here.
+            return
+        self._close_window(entry)
+
+    def _fail_slow(
+        self, target: Any, fault, epoch: float
+    ) -> Generator[Event, Any, None]:
+        """Gray failure: the host's primary device keeps serving
+        correctly but ``slowdown``× slower, with no error signal. Only
+        the :class:`~repro.faults.health.HealthMonitor`'s
+        restore-latency outlier score can catch it."""
+        yield self.env.timeout(
+            max(0.0, epoch + fault.start_us - self.env.now)
+        )
+        degradation = Degradation(latency_factor=fault.slowdown)
+        devices = list(target.devices_for_scope(fault.host))
+        for device in devices:
+            device.push_degradation(degradation)
+        self.fail_slows_applied += 1
+        self._notify(
+            "fault.fail-slow.open", fault.host, slowdown=fault.slowdown
+        )
+        entry = [devices, degradation, fault.host, "fail-slow"]
+        self._open_windows.append(entry)
+        if fault.duration_us is None:
+            return
+        try:
+            yield self.env.timeout(fault.duration_us)
+        except Interrupt:
             return
         self._close_window(entry)
 
@@ -226,7 +274,15 @@ class FaultInjector:
         yield self.env.timeout(
             max(0.0, epoch + corruption.at_us - self.env.now)
         )
-        self._corrupted.add((corruption.host, corruption.function))
+        if self.durability is not None:
+            # With the durability plane armed, corruption is real
+            # bit-rot in replica checksums — detected at read or
+            # scrub time by verification, not via the latent mark.
+            self.durability.mark_corrupt(
+                corruption.host, corruption.function
+            )
+        else:
+            self._corrupted.add((corruption.host, corruption.function))
         self.corruptions_marked += 1
         self._notify(
             "fault.corruption.marked",
@@ -254,11 +310,24 @@ class FaultInjector:
     # -- reporting -----------------------------------------------------
 
     def summary(self) -> Dict[str, int]:
-        return {
+        doc = {
             "device_windows_opened": self.device_windows_opened,
             "device_windows_closed": self.device_windows_closed,
             "host_crashes": self.host_crashes,
             "host_reboots": self.host_reboots,
             "corruptions_marked": self.corruptions_marked,
             "corruptions_detected": self.corruptions_detected,
+            "corruptions_detected_restore": self.corruptions_detected,
+            "corruptions_detected_scrub": 0,
+            "fail_slows_applied": self.fail_slows_applied,
+            "fail_slows_recovered": self.fail_slows_recovered,
         }
+        if self.durability is not None:
+            d = self.durability
+            doc["corruptions_detected"] = (
+                d.detected_restore + d.detected_scrub
+            )
+            doc["corruptions_detected_restore"] = d.detected_restore
+            doc["corruptions_detected_scrub"] = d.detected_scrub
+            doc.update(d.summary())
+        return doc

@@ -108,12 +108,38 @@ class SnapshotCorruption:
 
 
 @dataclass(frozen=True)
+class FailSlow:
+    """A host serves correctly but at ``slowdown``× latency, with no
+    error signal — the gray-failure mode health checks built on error
+    counts cannot see. Starting ``start_us`` after the epoch the
+    host's primary device runs ``slowdown`` times slower for
+    ``duration_us`` (``None`` = never recovers). Detection is the
+    restore-latency outlier score in
+    :class:`~repro.faults.health.HealthMonitor` (enable it with
+    ``HealthPolicy.fail_slow_factor``)."""
+
+    host: str
+    start_us: float
+    slowdown: float = 4.0
+    duration_us: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.start_us < 0:
+            raise ValueError("start_us must be >= 0")
+        if self.slowdown <= 1.0:
+            raise ValueError("slowdown must be > 1")
+        if self.duration_us is not None and self.duration_us <= 0:
+            raise ValueError("duration_us must be positive (or None)")
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """An immutable schedule of failures for one run."""
 
     device_faults: tuple = ()
     host_crashes: tuple = ()
     corruptions: tuple = ()
+    fail_slows: tuple = ()
 
     def __post_init__(self) -> None:
         # Accept any iterable but store tuples so plans hash/compare
@@ -123,6 +149,7 @@ class FaultPlan:
         )
         object.__setattr__(self, "host_crashes", tuple(self.host_crashes))
         object.__setattr__(self, "corruptions", tuple(self.corruptions))
+        object.__setattr__(self, "fail_slows", tuple(self.fail_slows))
 
     @classmethod
     def empty(cls) -> "FaultPlan":
@@ -131,7 +158,10 @@ class FaultPlan:
     @property
     def is_empty(self) -> bool:
         return not (
-            self.device_faults or self.host_crashes or self.corruptions
+            self.device_faults
+            or self.host_crashes
+            or self.corruptions
+            or self.fail_slows
         )
 
     def __len__(self) -> int:
@@ -139,6 +169,7 @@ class FaultPlan:
             len(self.device_faults)
             + len(self.host_crashes)
             + len(self.corruptions)
+            + len(self.fail_slows)
         )
 
     # -- serialisation -------------------------------------------------
@@ -174,6 +205,15 @@ class FaultPlan:
                 }
                 for c in self.corruptions
             ],
+            "fail_slows": [
+                {
+                    "host": s.host,
+                    "start_us": s.start_us,
+                    "slowdown": s.slowdown,
+                    "duration_us": s.duration_us,
+                }
+                for s in self.fail_slows
+            ],
         }
 
     @classmethod
@@ -189,5 +229,9 @@ class FaultPlan:
             corruptions=tuple(
                 SnapshotCorruption(**entry)
                 for entry in doc.get("corruptions", ())
+            ),
+            # ``.get`` keeps pre-durability plan documents loadable.
+            fail_slows=tuple(
+                FailSlow(**entry) for entry in doc.get("fail_slows", ())
             ),
         )

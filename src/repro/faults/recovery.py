@@ -99,6 +99,14 @@ class HealthPolicy:
     ``window_us`` (or when the host is crashed). An unhealthy host is
     drained — placement stops routing to it — and reintegrated after
     ``reintegrate_after_us`` of quiet.
+
+    ``fail_slow_factor`` arms gray-failure detection: each host's
+    first ``fail_slow_min_samples`` restore latencies freeze a
+    per-host baseline median, and when the median of the most recent
+    ``fail_slow_min_samples`` (within a ``fail_slow_window``-sample
+    history) exceeds ``factor × baseline`` the host is drained even
+    though it reports no errors. ``None`` (the default) keeps the
+    detector off and the monitor byte-identical to before.
     """
 
     enabled: bool = False
@@ -106,6 +114,9 @@ class HealthPolicy:
     error_threshold: int = 3
     window_us: float = 2_000_000.0
     reintegrate_after_us: float = 1_000_000.0
+    fail_slow_factor: Optional[float] = None
+    fail_slow_min_samples: int = 8
+    fail_slow_window: int = 32
 
     def __post_init__(self) -> None:
         if self.check_interval_us <= 0:
@@ -114,6 +125,14 @@ class HealthPolicy:
             raise ValueError("error_threshold must be >= 1")
         if self.window_us <= 0 or self.reintegrate_after_us < 0:
             raise ValueError("health windows must be positive")
+        if self.fail_slow_factor is not None and self.fail_slow_factor <= 1.0:
+            raise ValueError("fail_slow_factor must be > 1 (or None)")
+        if self.fail_slow_min_samples < 2:
+            raise ValueError("fail_slow_min_samples must be >= 2")
+        if self.fail_slow_window < self.fail_slow_min_samples:
+            raise ValueError(
+                "fail_slow_window must be >= fail_slow_min_samples"
+            )
 
 
 @dataclass(frozen=True)

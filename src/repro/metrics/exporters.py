@@ -268,6 +268,11 @@ def fleet_report_doc(report) -> Dict[str, Any]:
         doc["host_shed"] = {
             host: stats.shed for host, stats in sorted(host_stats.items())
         }
+    fault_summary = getattr(report, "fault_summary", None)
+    if fault_summary:
+        # Includes the durability split: corruptions caught at restore
+        # time vs by the background scrubber, plus silent serves.
+        doc["faults"] = dict(sorted(fault_summary.items()))
     return doc
 
 

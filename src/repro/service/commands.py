@@ -21,6 +21,8 @@ are skipped by the CLI)::
     snapshot-telemetry             # emit a telemetry delta, pin its digest
     set-slo JSON                   # install SLO objectives + burn-rate rules
     slo-status                     # evaluate the SLO monitor, pin its digest
+    scrub                          # force a full durability scrub pass now
+    durability-status              # replica/corruption state, pin its digest
     status                         # read-only state probe (not journaled)
     drain                          # stop intake, serve out, finish the run
 """
@@ -189,6 +191,24 @@ class SloStatusCommand(Command):
 
 
 @dataclass(frozen=True)
+class ScrubCommand(Command):
+    """Force a full scrub pass over every host's replica sets at the
+    current virtual time — detection happens now, repair proceeds in
+    virtual time afterwards. No-op when durability is disabled."""
+
+    name = "scrub"
+
+
+@dataclass(frozen=True)
+class DurabilityStatusCommand(Command):
+    """Report replica/corruption state and pin the resulting
+    document's digest in the journal (replay must agree on every
+    counter and quarantined replica)."""
+
+    name = "durability-status"
+
+
+@dataclass(frozen=True)
 class StatusCommand(Command):
     name = "status"
 
@@ -213,6 +233,8 @@ COMMAND_TYPES: Dict[str, Type[Command]] = {
         SnapshotTelemetryCommand,
         SetSloCommand,
         SloStatusCommand,
+        ScrubCommand,
+        DurabilityStatusCommand,
         StatusCommand,
         DrainCommand,
     )
@@ -305,6 +327,10 @@ def parse_command(line: str) -> Command:
             return SetSloCommand(config=json.loads(rest) if rest else {})
         if head == "slo-status":
             return SloStatusCommand()
+        if head == "scrub":
+            return ScrubCommand()
+        if head == "durability-status":
+            return DurabilityStatusCommand()
         if head == "status":
             return StatusCommand()
         if head == "drain":

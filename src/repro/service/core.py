@@ -57,7 +57,9 @@ from repro.service.commands import (
     DisarmCommand,
     DrainCommand,
     DrainHostCommand,
+    DurabilityStatusCommand,
     InjectCommand,
+    ScrubCommand,
     SetKeepaliveCommand,
     SetSloCommand,
     SloStatusCommand,
@@ -259,6 +261,18 @@ class ClusterService:
         now = self.env.now - (self._epoch_us or 0.0)
         return monitor.status_sha(now)
 
+    def durability_status(self) -> Tuple[Dict[str, Any], str]:
+        """The durability subsystem's canonical status document plus
+        its SHA-256 (the digest extension ``durability-status`` pins).
+        With durability disabled the document is
+        ``{"enabled": false}`` so replays of a durability-free run
+        still digest identically."""
+        doc = self.simulator.durability_status()
+        sha = hashlib.sha256(
+            json.dumps(doc, sort_keys=True, separators=(",", ":")).encode()
+        ).hexdigest()
+        return doc, sha
+
     # -- command execution ---------------------------------------------
 
     def execute(self, command: Command) -> Dict[str, Any]:
@@ -269,7 +283,7 @@ class ClusterService:
             return self.status()
         result = self._apply(command, pulled=None)
         digest = self.digest()
-        for key in ("telemetry_sha256", "slo_sha256"):
+        for key in ("telemetry_sha256", "slo_sha256", "durability_sha256"):
             if key in result:
                 digest[key] = result[key]
         if self._journal is not None:
@@ -299,7 +313,7 @@ class ClusterService:
             ]
         result = self._apply(command, pulled=pulled)
         digest = self.digest()
-        for key in ("telemetry_sha256", "slo_sha256"):
+        for key in ("telemetry_sha256", "slo_sha256", "durability_sha256"):
             if key in result:
                 digest[key] = result[key]
         result["digest"] = digest
@@ -310,7 +324,12 @@ class ClusterService:
     ) -> Dict[str, Any]:
         if self._finished and not isinstance(
             command,
-            (StatusCommand, SnapshotTelemetryCommand, SloStatusCommand),
+            (
+                StatusCommand,
+                SnapshotTelemetryCommand,
+                SloStatusCommand,
+                DurabilityStatusCommand,
+            ),
         ):
             raise ServiceError(
                 f"service already drained; {command.name!r} rejected"
@@ -380,6 +399,11 @@ class ClusterService:
         if isinstance(command, SloStatusCommand):
             doc, sha = self.slo_status()
             return {"slo": doc, "slo_sha256": sha}
+        if isinstance(command, ScrubCommand):
+            return {"scrub": sim.run_scrub()}
+        if isinstance(command, DurabilityStatusCommand):
+            doc, sha = self.durability_status()
+            return {"durability": doc, "durability_sha256": sha}
         if isinstance(command, DrainCommand):
             report = self.drain()
             return {
@@ -464,6 +488,7 @@ _SPEC_DEFAULTS: Dict[str, Any] = {
     "source": {"kind": "none"},
     "fault_plan": None,
     "slo": None,
+    "durability": None,
 }
 
 
@@ -498,6 +523,10 @@ def build_service(
     pulls instead."""
     from repro.cluster.scheduler import ClusterConfig, ClusterSimulator
     from repro.core import Policy
+    from repro.faults.durability import (
+        DISABLED_DURABILITY,
+        DurabilityPolicy,
+    )
 
     spec = normalize_spec(spec)
     fleet = synthesize_fleet(
@@ -514,6 +543,11 @@ def build_service(
         snapshot_tier=str(spec["tier"]),
         max_concurrent_per_host=spec["max_concurrent"],
         seed=int(spec["seed"]),
+        durability=(
+            DurabilityPolicy.from_dict(spec["durability"])
+            if spec["durability"] is not None
+            else DISABLED_DURABILITY
+        ),
     )
     simulator = ClusterSimulator(fleet, config)
     source = arrival_source

@@ -71,6 +71,32 @@ class StoredFile:
         """Sorted indices of pages with nonzero contents."""
         return sorted(self.pages)
 
+    def chunk_checksums(self, chunk_pages: int) -> Tuple[int, ...]:
+        """Per-chunk FNV-1a checksums over page content tokens.
+
+        Chunk ``i`` covers pages ``[i*chunk_pages, (i+1)*chunk_pages)``
+        (the last chunk may be short). Holes hash as zeros, so two
+        files with identical logical contents checksum identically
+        whether stored sparse or dense. This is the integrity unit
+        the snapshot durability plane publishes, verifies at restore
+        time, and scrubs (:mod:`repro.faults.durability`)."""
+        if chunk_pages < 1:
+            raise SimulationError(
+                f"chunk_pages must be >= 1, got {chunk_pages}"
+            )
+        checksums = []
+        for start in range(0, self.num_pages, chunk_pages):
+            digest = 2166136261
+            for index in range(
+                start, min(start + chunk_pages, self.num_pages)
+            ):
+                value = self.pages.get(index, 0)
+                digest = (
+                    (digest ^ (value & 0xFFFFFFFF)) * 16777619
+                ) & 0xFFFFFFFF
+            checksums.append(digest)
+        return tuple(checksums)
+
     def read(
         self, page_index: int, npages: int = 1
     ) -> Generator[Event, Any, List[int]]:

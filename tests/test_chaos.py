@@ -26,6 +26,7 @@ def test_scenario_registry_is_complete():
         "slow-device-brownout",
         "corrupted-snapshot-epidemic",
         "ebs-latency-spike",
+        "bitrot-storm",
     }
     for name, spec in SCENARIOS.items():
         assert spec.name == name

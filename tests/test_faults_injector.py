@@ -70,6 +70,10 @@ def test_empty_plan_spawns_nothing():
         "host_reboots": 0,
         "corruptions_marked": 0,
         "corruptions_detected": 0,
+        "corruptions_detected_restore": 0,
+        "corruptions_detected_scrub": 0,
+        "fail_slows_applied": 0,
+        "fail_slows_recovered": 0,
     }
 
 

@@ -123,6 +123,7 @@ def test_empty_plan_round_trips():
         "device_faults": [],
         "host_crashes": [],
         "corruptions": [],
+        "fail_slows": [],
     }
     restored = FaultPlan.from_dict(doc)
     assert restored.is_empty
